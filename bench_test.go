@@ -1,0 +1,190 @@
+package dtm
+
+// The benchmark harness regenerates every table and figure of the
+// constructed evaluation (DESIGN.md §5): one benchmark per experiment,
+// printing the experiment's table on the first iteration so that
+//
+//	go test -bench=. -benchmem ./... | tee bench_output.txt
+//
+// reproduces the whole evaluation, plus the Table 6 CPU microbenchmarks of
+// the scheduling computations themselves (Sections III-B and IV-D analyze
+// their sequential run-time complexity).
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"dtm/internal/batch"
+	"dtm/internal/bucket"
+	"dtm/internal/core"
+	"dtm/internal/experiments"
+	"dtm/internal/graph"
+	"dtm/internal/greedy"
+	"dtm/internal/sched"
+	"dtm/internal/workload"
+)
+
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tb, err := e.Run(experiments.Config{Seed: 42})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			b.StopTimer()
+			fmt.Fprintf(os.Stdout, "\n[%s] %s\n# claim: %s\n", e.ID, e.Title, e.Claim)
+			if err := tb.Render(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkTable1Summary(b *testing.B)        { benchExperiment(b, "T1") }
+func BenchmarkFigure1CliqueK(b *testing.B)       { benchExperiment(b, "F1") }
+func BenchmarkFigure2CliqueN(b *testing.B)       { benchExperiment(b, "F2") }
+func BenchmarkFigure3Hypercube(b *testing.B)     { benchExperiment(b, "F3") }
+func BenchmarkFigure4ButterflyGrid(b *testing.B) { benchExperiment(b, "F4") }
+func BenchmarkFigure5Line(b *testing.B)          { benchExperiment(b, "F5") }
+func BenchmarkFigure6Cluster(b *testing.B)       { benchExperiment(b, "F6") }
+func BenchmarkFigure7Star(b *testing.B)          { benchExperiment(b, "F7") }
+func BenchmarkTable2GreedyBounds(b *testing.B)   { benchExperiment(b, "T2") }
+func BenchmarkTable3BucketLemmas(b *testing.B)   { benchExperiment(b, "T3") }
+func BenchmarkFigure8Crossover(b *testing.B)     { benchExperiment(b, "F8") }
+func BenchmarkTable4Distributed(b *testing.B)    { benchExperiment(b, "T4") }
+func BenchmarkTable5Coordinator(b *testing.B)    { benchExperiment(b, "T5") }
+func BenchmarkFigure9HalfSpeed(b *testing.B)     { benchExperiment(b, "F9") }
+func BenchmarkFigure10Load(b *testing.B)         { benchExperiment(b, "F10") }
+func BenchmarkTable7BucketAblation(b *testing.B) { benchExperiment(b, "T7") }
+func BenchmarkTable8BatchQuality(b *testing.B)   { benchExperiment(b, "T8") }
+func BenchmarkTable9ClosedLoop(b *testing.B)     { benchExperiment(b, "T9") }
+func BenchmarkFigure11TimeVsComm(b *testing.B)   { benchExperiment(b, "F11") }
+func BenchmarkFigure12Congestion(b *testing.B)   { benchExperiment(b, "F12") }
+func BenchmarkTable10HubPlacement(b *testing.B)  { benchExperiment(b, "T10") }
+func BenchmarkFigure13Padding(b *testing.B)      { benchExperiment(b, "F13") }
+
+// --- Table 6: CPU cost of the scheduling computations themselves ---
+
+// BenchmarkGreedyScheduleCPU measures one full online greedy run (all
+// coloring work) per instance size; Section III-B claims O(n' + m' log n')
+// per step.
+func BenchmarkGreedyScheduleCPU(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("clique-n%d", n), func(b *testing.B) {
+			g, err := graph.Clique(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in, err := workload.Generate(g, workload.Config{
+				K: 3, NumObjects: n, Rounds: 3,
+				Arrival: workload.ArrivalPeriodic, Period: 2, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Run(in, greedy.New(greedy.Options{}), sched.Options{SnapshotEvery: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBucketScheduleCPU measures the bucket conversion (level probes
+// plus activations) per instance size; Section IV-D claims polynomial time.
+func BenchmarkBucketScheduleCPU(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("line-n%d", n), func(b *testing.B) {
+			g, err := graph.Line(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in, err := workload.Generate(g, workload.Config{
+				K: 2, NumObjects: n / 2, Rounds: 2,
+				Arrival: workload.ArrivalPeriodic, Period: core.Time(n), Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := bucket.New(bucket.Options{Batch: batch.Tour{}})
+				if _, err := sched.Run(in, s, sched.Options{SnapshotEvery: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchSchedulersCPU measures the two offline algorithms on one
+// batch problem.
+func BenchmarkBatchSchedulersCPU(b *testing.B) {
+	g, err := graph.Line(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := workload.Generate(g, workload.Config{
+		K: 2, NumObjects: 64, Rounds: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	avail := make(map[core.ObjID]batch.Avail)
+	for _, o := range in.Objects {
+		avail[o.ID] = batch.Avail{Node: o.Origin}
+	}
+	p := &batch.Problem{G: g, Txns: in.Txns, Avail: avail}
+	for _, s := range []batch.Scheduler{batch.Tour{}, batch.Coloring{}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistributedProtocolCPU measures a full Algorithm 3 run,
+// sequential vs goroutine-per-node engines.
+func BenchmarkDistributedProtocolCPU(b *testing.B) {
+	g, err := graph.Grid(5, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := workload.Generate(g, workload.Config{
+		K: 2, NumObjects: 12, Rounds: 2,
+		Arrival: workload.ArrivalPeriodic, Period: 40, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []bool{false, true} {
+		name := "sequential"
+		if par {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunDistributed(in, DistributedOptions{
+					Batch: batch.Tour{}, Seed: 7, Parallel: par, SnapshotEvery: -1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+// Command dtmbench regenerates the constructed evaluation of DESIGN.md §5:
+// every table and figure backing the paper's claims.
+//
+//	dtmbench -list            # show all experiments
+//	dtmbench -exp F1          # regenerate one
+//	dtmbench -all             # regenerate everything
+//	dtmbench -exp F5 -csv     # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtm/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments")
+		exp   = flag.String("exp", "", "experiment ID to run (e.g. F1, T3)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "smaller sweeps")
+		seed  = flag.Int64("seed", 42, "random seed")
+		csv   = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+	switch {
+	case *list:
+		for _, e := range experiments.All {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+	case *all:
+		for _, e := range experiments.All {
+			if err := runOne(e, *quick, *seed, *csv); err != nil {
+				fmt.Fprintln(os.Stderr, "dtmbench:", err)
+				os.Exit(1)
+			}
+		}
+	case *exp != "":
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dtmbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(1)
+		}
+		if err := runOne(e, *quick, *seed, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "dtmbench:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e experiments.Experiment, quick bool, seed int64, csv bool) error {
+	tb, err := e.Run(experiments.Config{Quick: quick, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	fmt.Printf("\n[%s] %s\n# claim: %s\n", e.ID, e.Title, e.Claim)
+	if csv {
+		return tb.RenderCSV(os.Stdout)
+	}
+	return tb.Render(os.Stdout)
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestBuildAllTopologies(t *testing.T) {
+	for _, topo := range []string{"clique", "line", "ring", "grid", "hypercube", "butterfly", "cluster", "star", "tree", "random"} {
+		g, err := build(topo, 8, 3, 3, 3, 3, 3, 3, 2, 1)
+		if err != nil {
+			t.Errorf("%s: %v", topo, err)
+			continue
+		}
+		if !g.Connected() {
+			t.Errorf("%s: disconnected", topo)
+		}
+	}
+	if _, err := build("nope", 8, 3, 3, 3, 3, 3, 3, 2, 1); err == nil {
+		t.Error("unknown topology: want error")
+	}
+}

@@ -1,0 +1,215 @@
+// Command dtmsim runs one dynamic-scheduling simulation: build a topology,
+// generate a workload, run a scheduler, and print the execution metrics and
+// the measured competitive ratio.
+//
+// Examples:
+//
+//	dtmsim -topology clique -n 64 -sched greedy -k 4 -rounds 4
+//	dtmsim -topology line -n 128 -sched bucket-tour -k 2 -arrival poisson -period 8
+//	dtmsim -topology cluster -alpha 8 -beta 8 -gamma 8 -sched distributed
+//	dtmsim -topology hypercube -dim 6 -sched coordinator -trace run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtm"
+	"dtm/internal/batch"
+	"dtm/internal/stats"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "clique", "clique|line|ring|grid|hypercube|butterfly|cluster|star|tree|random")
+		n        = flag.Int("n", 32, "node count (clique, line, ring, random)")
+		dim      = flag.Int("dim", 4, "dimension (hypercube, butterfly)")
+		rows     = flag.Int("rows", 4, "grid rows")
+		cols     = flag.Int("cols", 4, "grid cols")
+		alpha    = flag.Int("alpha", 4, "cluster: number of cliques / star: rays")
+		beta     = flag.Int("beta", 4, "cluster: clique size / star: ray length / tree: branching")
+		gamma    = flag.Int("gamma", 4, "cluster: bridge weight")
+		depth    = flag.Int("depth", 3, "tree depth")
+		schedArg = flag.String("sched", "greedy", "greedy|greedy-uniform|coordinator|bucket-tour|bucket-coloring|distributed")
+		k        = flag.Int("k", 2, "objects per transaction")
+		objects  = flag.Int("objects", 0, "number of shared objects (default n)")
+		rounds   = flag.Int("rounds", 3, "transactions per node")
+		arrival  = flag.String("arrival", "periodic", "batch|periodic|poisson|bursty")
+		period   = flag.Int64("period", 0, "arrival period (default 2*diameter)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		hub      = flag.Int("hub", 0, "coordinator hub node")
+		capacity = flag.Int("capacity", 0, "bounded link capacity (0 = unbounded; implies elastic commits)")
+		traceOut = flag.String("trace", "", "write a re-validatable JSON trace to this file")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+	if err := run(params{
+		topology: *topology, n: *n, dim: *dim, rows: *rows, cols: *cols,
+		alpha: *alpha, beta: *beta, gamma: *gamma, depth: *depth,
+		sched: *schedArg, k: *k, objects: *objects, rounds: *rounds,
+		arrival: *arrival, period: *period, seed: *seed, hub: *hub,
+		capacity: *capacity, traceOut: *traceOut, csv: *csv,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "dtmsim:", err)
+		os.Exit(1)
+	}
+}
+
+type params struct {
+	topology                  string
+	n, dim, rows, cols        int
+	alpha, beta, gamma, depth int
+	sched                     string
+	k, objects, rounds        int
+	arrival                   string
+	period, seed              int64
+	hub                       int
+	capacity                  int
+	traceOut                  string
+	csv                       bool
+}
+
+func buildGraph(p params) (*dtm.Graph, error) {
+	switch p.topology {
+	case "clique":
+		return dtm.Clique(p.n)
+	case "line":
+		return dtm.Line(p.n)
+	case "ring":
+		return dtm.Ring(p.n)
+	case "grid":
+		return dtm.Grid(p.rows, p.cols)
+	case "hypercube":
+		return dtm.Hypercube(p.dim)
+	case "butterfly":
+		return dtm.Butterfly(p.dim)
+	case "cluster":
+		return dtm.Cluster(dtm.ClusterSpec{Alpha: p.alpha, Beta: p.beta, Gamma: dtm.Weight(p.gamma)})
+	case "star":
+		return dtm.Star(dtm.StarSpec{Rays: p.alpha, RayLen: p.beta})
+	case "tree":
+		return dtm.Tree(p.beta, p.depth)
+	case "random":
+		return dtm.RandomConnected(p.n, p.n, 4, p.seed)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", p.topology)
+	}
+}
+
+func arrivalKind(s string) (dtm.WorkloadConfig, error) {
+	var cfg dtm.WorkloadConfig
+	switch s {
+	case "batch":
+		cfg.Arrival = dtm.ArrivalBatch
+	case "periodic":
+		cfg.Arrival = dtm.ArrivalPeriodic
+	case "poisson":
+		cfg.Arrival = dtm.ArrivalPoisson
+	case "bursty":
+		cfg.Arrival = dtm.ArrivalBursty
+	default:
+		return cfg, fmt.Errorf("unknown arrival process %q", s)
+	}
+	return cfg, nil
+}
+
+func run(p params) error {
+	g, err := buildGraph(p)
+	if err != nil {
+		return err
+	}
+	cfg, err := arrivalKind(p.arrival)
+	if err != nil {
+		return err
+	}
+	cfg.K = p.k
+	cfg.NumObjects = p.objects
+	if cfg.NumObjects == 0 {
+		cfg.NumObjects = g.N()
+	}
+	cfg.Rounds = p.rounds
+	cfg.Period = dtm.Time(p.period)
+	if cfg.Period == 0 {
+		cfg.Period = dtm.Time(g.Diameter()) * 2
+	}
+	cfg.Seed = p.seed
+	in, err := dtm.Generate(g, cfg)
+	if err != nil {
+		return err
+	}
+
+	t := stats.NewTable(fmt.Sprintf("dtmsim: %s, %d transactions, %d objects", g, len(in.Txns), len(in.Objects)),
+		"scheduler", "makespan", "max latency", "mean latency", "total comm", "max ratio", "mean ratio")
+	emit := func() error {
+		if p.csv {
+			return t.RenderCSV(os.Stdout)
+		}
+		return t.Render(os.Stdout)
+	}
+
+	if p.sched == "distributed" {
+		res, err := dtm.RunDistributed(in, dtm.DistributedOptions{Batch: batch.Tour{}, Seed: p.seed, Parallel: true})
+		if err != nil {
+			return err
+		}
+		t.AddRow(res.Scheduler, fmt.Sprint(res.Makespan), fmt.Sprint(res.MaxLat),
+			fmt.Sprintf("%.1f", res.MeanLat()), fmt.Sprint(res.TotalComm),
+			fmt.Sprintf("%.2f", res.MaxRatio), fmt.Sprintf("%.2f", res.MeanRatio()))
+		if err := emit(); err != nil {
+			return err
+		}
+		fmt.Printf("protocol: %d messages, %d message-distance, %d cover layers, %d sub-layers, audit %+v\n",
+			res.Messages, res.MsgDistance, res.CoverLayers, res.SubLayers, res.Audit)
+		return nil
+	}
+
+	var s dtm.Scheduler
+	switch p.sched {
+	case "greedy":
+		s = dtm.NewGreedy(dtm.GreedyOptions{})
+	case "greedy-uniform":
+		s = dtm.NewGreedy(dtm.GreedyOptions{Uniform: true})
+	case "coordinator":
+		s = dtm.NewCoordinator(dtm.NodeID(p.hub), dtm.GreedyOptions{})
+	case "bucket-tour":
+		s = dtm.NewBucket(dtm.BucketOptions{Batch: dtm.TourBatch()})
+	case "bucket-coloring":
+		s = dtm.NewBucket(dtm.BucketOptions{Batch: dtm.ColoringBatch()})
+	default:
+		return fmt.Errorf("unknown scheduler %q", p.sched)
+	}
+	runOpts := dtm.RunOptions{}
+	if p.capacity > 0 {
+		runOpts.Sim = dtm.SimOptions{LinkCapacity: p.capacity, ElasticExec: true}
+	}
+	rr, err := dtm.Run(in, s, runOpts)
+	if err != nil {
+		return err
+	}
+	t.AddRow(rr.Scheduler, fmt.Sprint(rr.Makespan), fmt.Sprint(rr.MaxLat),
+		fmt.Sprintf("%.1f", rr.MeanLat()), fmt.Sprint(rr.TotalComm),
+		fmt.Sprintf("%.2f", rr.MaxRatio), fmt.Sprintf("%.2f", rr.MeanRatio()))
+	if err := emit(); err != nil {
+		return err
+	}
+	if p.traceOut != "" {
+		if p.capacity > 0 {
+			return fmt.Errorf("-trace is only supported with unbounded links (traces replay in the paper's model)")
+		}
+		f, err := os.Create(p.traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr := dtm.CaptureTrace(in, rr, 1)
+		if err := tr.Validate(); err != nil {
+			return err
+		}
+		if err := tr.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (re-validated)\n", p.traceOut)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildGraphAllTopologies(t *testing.T) {
+	base := params{n: 8, dim: 3, rows: 3, cols: 3, alpha: 3, beta: 3, gamma: 3, depth: 2, seed: 1}
+	for _, topo := range []string{"clique", "line", "ring", "grid", "hypercube", "butterfly", "cluster", "star", "tree", "random"} {
+		p := base
+		p.topology = topo
+		g, err := buildGraph(p)
+		if err != nil {
+			t.Errorf("%s: %v", topo, err)
+			continue
+		}
+		if g.N() < 2 {
+			t.Errorf("%s: degenerate graph", topo)
+		}
+	}
+	p := base
+	p.topology = "nope"
+	if _, err := buildGraph(p); err == nil {
+		t.Error("unknown topology: want error")
+	}
+}
+
+func TestArrivalKind(t *testing.T) {
+	for _, a := range []string{"batch", "periodic", "poisson", "bursty"} {
+		if _, err := arrivalKind(a); err != nil {
+			t.Errorf("%s: %v", a, err)
+		}
+	}
+	if _, err := arrivalKind("nope"); err != nil {
+		// expected
+	} else {
+		t.Error("unknown arrival: want error")
+	}
+}
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, s := range []string{"greedy", "greedy-uniform", "coordinator", "bucket-tour", "bucket-coloring", "distributed"} {
+		p := params{
+			topology: "clique", n: 8,
+			sched: s, k: 2, rounds: 1,
+			arrival: "periodic", seed: 1,
+		}
+		if err := run(p); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+	p := params{topology: "clique", n: 8, sched: "nope", k: 2, rounds: 1, arrival: "periodic"}
+	if err := run(p); err == nil {
+		t.Error("unknown scheduler: want error")
+	}
+}
+
+func TestRunWithTraceAndCapacity(t *testing.T) {
+	dir := t.TempDir()
+	p := params{
+		topology: "line", n: 10,
+		sched: "greedy", k: 2, rounds: 1,
+		arrival: "periodic", seed: 1,
+		traceOut: filepath.Join(dir, "run.json"),
+	}
+	if err := run(p); err != nil {
+		t.Fatalf("trace run: %v", err)
+	}
+	// Capacity-limited run works but refuses to write traces.
+	p.capacity = 1
+	if err := run(p); err == nil {
+		t.Error("trace with capacity: want error")
+	}
+	p.traceOut = ""
+	if err := run(p); err != nil {
+		t.Errorf("capacity run: %v", err)
+	}
+	p.csv = true
+	if err := run(p); err != nil {
+		t.Errorf("csv run: %v", err)
+	}
+}

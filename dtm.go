@@ -1,0 +1,252 @@
+// Package dtm is a library for dynamic (online) transaction scheduling in
+// distributed transactional memory under the data-flow model, implementing
+// the algorithms and analyses of:
+//
+//	C. Busch, M. Herlihy, M. Popovic, G. Sharma.
+//	"Dynamic Scheduling in Distributed Transactional Memory." IPPS 2020.
+//
+// Transactions reside at the nodes of a weighted communication graph;
+// shared objects are mobile and travel to the transactions that request
+// them; a transaction executes the moment it has assembled all of its
+// objects. The library provides:
+//
+//   - the synchronous execution model and its discrete-event engine
+//     (Instance, Sim, Replay) — the single source of truth for schedule
+//     feasibility;
+//   - the online greedy scheduler of Algorithm 1 (Theorems 1-3: O(k) on
+//     the clique, O(k log n) on hypercube-like graphs);
+//   - the offline batch substrate and the online bucket conversion of
+//     Algorithm 2 (Theorem 4: O(b_A log³(nD))-competitive);
+//   - the decentralized machinery of Section V: a goroutine-per-node
+//     message-passing runtime, a hierarchical sparse cover, and the
+//     distributed bucket protocol of Algorithm 3, plus the Section III-E
+//     hub coordinator;
+//   - workload generators, competitive-ratio measurement against computed
+//     lower bounds on OPT, and the experiment harness regenerating every
+//     claim in the paper (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	g, _ := dtm.Clique(16)
+//	in, _ := dtm.Generate(g, dtm.WorkloadConfig{K: 2, NumObjects: 8, Rounds: 4})
+//	rr, _ := dtm.Run(in, dtm.NewGreedy(dtm.GreedyOptions{}), dtm.RunOptions{})
+//	fmt.Println(rr.Makespan, rr.MaxRatio)
+package dtm
+
+import (
+	"dtm/internal/batch"
+	"dtm/internal/bucket"
+	"dtm/internal/core"
+	"dtm/internal/cover"
+	"dtm/internal/distbucket"
+	"dtm/internal/graph"
+	"dtm/internal/greedy"
+	"dtm/internal/lowerbound"
+	"dtm/internal/sched"
+	"dtm/internal/trace"
+	"dtm/internal/workload"
+)
+
+// Model types (Section II).
+type (
+	// Time is a discrete synchronous time step.
+	Time = core.Time
+	// TxID identifies a transaction within an Instance.
+	TxID = core.TxID
+	// ObjID identifies a shared object within an Instance.
+	ObjID = core.ObjID
+	// NodeID identifies a node of the communication graph.
+	NodeID = graph.NodeID
+	// Weight is an edge weight or distance in time steps.
+	Weight = graph.Weight
+	// Graph is the weighted communication graph G.
+	Graph = graph.Graph
+	// Object is a mobile shared object.
+	Object = core.Object
+	// Transaction is an atomic block pinned to a node.
+	Transaction = core.Transaction
+	// Instance is a complete dynamic scheduling problem.
+	Instance = core.Instance
+	// Sim is the synchronous execution engine.
+	Sim = core.Sim
+	// SimOptions configure a Sim.
+	SimOptions = core.SimOptions
+	// Decision is one scheduling decision, for replay.
+	Decision = core.Decision
+)
+
+// Scheduling types.
+type (
+	// Scheduler is an online scheduling algorithm driven by Run.
+	Scheduler = sched.Scheduler
+	// RunOptions configure Run.
+	RunOptions = sched.Options
+	// RunResult bundles execution metrics with the competitive-ratio trace.
+	RunResult = sched.RunResult
+	// RatioPoint is one competitive-ratio observation.
+	RatioPoint = sched.RatioPoint
+	// GreedyOptions configure the Algorithm 1 scheduler.
+	GreedyOptions = greedy.Options
+	// BucketOptions configure the Algorithm 2 scheduler.
+	BucketOptions = bucket.Options
+	// BatchScheduler is an offline batch algorithm A for the bucket
+	// conversion.
+	BatchScheduler = batch.Scheduler
+	// BatchProblem is an offline batch scheduling problem.
+	BatchProblem = batch.Problem
+	// DistributedOptions configure the Algorithm 3 protocol run.
+	DistributedOptions = distbucket.Options
+	// DistributedResult is the Algorithm 3 run outcome.
+	DistributedResult = distbucket.Result
+	// WorkloadConfig parameterizes Generate.
+	WorkloadConfig = workload.Config
+	// TraceRun is a serialized, re-validatable record of a run.
+	TraceRun = trace.Run
+	// CoverHierarchy is the Section V hierarchical sparse cover.
+	CoverHierarchy = cover.Hierarchy
+)
+
+// Workload knobs re-exported for WorkloadConfig.
+const (
+	ArrivalBatch    = workload.ArrivalBatch
+	ArrivalPeriodic = workload.ArrivalPeriodic
+	ArrivalPoisson  = workload.ArrivalPoisson
+	ArrivalBursty   = workload.ArrivalBursty
+	PopUniform      = workload.PopUniform
+	PopZipf         = workload.PopZipf
+	PopHotspot      = workload.PopHotspot
+)
+
+// Topology constructors (the paper's specialized architectures).
+var (
+	// Clique returns the complete graph on n unit-weight nodes.
+	Clique = graph.Clique
+	// Line returns the n-node path graph.
+	Line = graph.Line
+	// Ring returns the n-node cycle graph.
+	Ring = graph.Ring
+	// Grid returns a multi-dimensional unit-weight lattice.
+	Grid = graph.Grid
+	// Torus returns a multi-dimensional lattice with wraparound edges.
+	Torus = graph.Torus
+	// Hypercube returns the dim-dimensional hypercube.
+	Hypercube = graph.Hypercube
+	// Butterfly returns the dim-dimensional butterfly network.
+	Butterfly = graph.Butterfly
+	// Cluster returns the Section IV-D cluster topology.
+	Cluster = graph.Cluster
+	// Star returns the Section IV-D star topology.
+	Star = graph.Star
+	// Tree returns a complete rooted tree.
+	Tree = graph.Tree
+	// RandomConnected returns a seeded random connected graph.
+	RandomConnected = graph.RandomConnected
+	// NewGraph returns an empty graph for custom topologies.
+	NewGraph = graph.New
+)
+
+// ClusterSpec and StarSpec parameterize Cluster and Star.
+type (
+	ClusterSpec = graph.ClusterSpec
+	StarSpec    = graph.StarSpec
+)
+
+// Generate builds a workload instance on g (seeded, deterministic).
+func Generate(g *Graph, cfg WorkloadConfig) (*Instance, error) {
+	return workload.Generate(g, cfg)
+}
+
+// SingleObjectChain builds the adversarial one-hot-object workload.
+func SingleObjectChain(g *Graph, origin NodeID) (*Instance, error) {
+	return workload.SingleObjectChain(g, origin)
+}
+
+// NewGreedy returns the Algorithm 1 online greedy scheduler.
+func NewGreedy(opts GreedyOptions) *greedy.Greedy { return greedy.New(opts) }
+
+// NewCoordinator returns the Section III-E hub coordinator scheduler.
+func NewCoordinator(hub NodeID, opts GreedyOptions) *greedy.Coordinator {
+	return greedy.NewCoordinator(hub, opts)
+}
+
+// NewBucket returns the Algorithm 2 online bucket scheduler converting the
+// offline batch algorithm in opts.Batch.
+func NewBucket(opts BucketOptions) *bucket.Bucket { return bucket.New(opts) }
+
+// TourBatch returns the geometric (MST Euler tour) offline batch scheduler —
+// also the TSP-tour baseline of Zhang et al. that the paper cites.
+func TourBatch() BatchScheduler { return batch.Tour{} }
+
+// ColoringBatch returns the generic weighted-coloring offline batch
+// scheduler (the offline analogue of Algorithm 1).
+func ColoringBatch() BatchScheduler { return batch.Coloring{} }
+
+// ListBatch returns the list-scheduling offline batch scheduler (earliest-
+// feasible-first; the strongest of the batch heuristics in constants).
+func ListBatch() BatchScheduler { return batch.List{} }
+
+// WithSuffixProperty applies the paper's second basic modification of
+// Section IV-A to a batch scheduler: every suffix of its schedules executes
+// within the time the algorithm needs for the suffix alone.
+func WithSuffixProperty(s BatchScheduler) BatchScheduler { return batch.WithSuffixProperty(s) }
+
+// RandomizedBatch returns a randomized batch scheduler (best of several
+// random priority orders), in the spirit of the randomized SPAA'17
+// cluster/star algorithms the paper converts.
+func RandomizedBatch(seed int64, tries int) BatchScheduler {
+	return batch.Randomized{Seed: seed, Tries: tries}
+}
+
+// WithRetry wraps a batch scheduler with the paper's Section IV-D
+// bad-event handling: re-run until the schedule meets the acceptance bound
+// (best-seen after maxTries, so the online schedule always stays feasible).
+func WithRetry(inner BatchScheduler, accept func(makespan Time, p *BatchProblem) bool, maxTries int) BatchScheduler {
+	return batch.WithRetry(inner, accept, maxTries)
+}
+
+// Run executes an online scheduler on the instance with a zero-latency
+// oracle (the centralized setting of Sections III-IV) and measures the
+// empirical competitive ratio of Definition 1.
+func Run(in *Instance, s Scheduler, opts RunOptions) (*RunResult, error) {
+	return sched.Run(in, s, opts)
+}
+
+// RunDistributed executes the Algorithm 3 distributed bucket protocol:
+// decisions are computed by per-node goroutine handlers exchanging
+// messages with real latencies, while objects move at half speed.
+func RunDistributed(in *Instance, opts DistributedOptions) (*DistributedResult, error) {
+	return distbucket.Run(in, opts)
+}
+
+// Replay validates a decision log against the execution model.
+func Replay(in *Instance, decisions []Decision, opts SimOptions) (*core.Result, error) {
+	return core.Replay(in, decisions, opts)
+}
+
+// ClosedLoopConfig configures RunClosedLoop.
+type ClosedLoopConfig = sched.ClosedLoopConfig
+
+// RunClosedLoop drives a scheduler under the paper's exact Section III-C
+// issuing process: each node issues its next transaction one step after
+// the previous one commits.
+func RunClosedLoop(g *Graph, cfg ClosedLoopConfig, s Scheduler, opts RunOptions) (*RunResult, *Instance, error) {
+	return sched.RunClosedLoop(g, cfg, s, opts)
+}
+
+// CaptureTrace records a finished run as a serializable, re-validatable
+// trace.
+func CaptureTrace(in *Instance, rr *RunResult, slowFactor int) *TraceRun {
+	return trace.Capture(in, rr, slowFactor)
+}
+
+// BuildCover constructs and verifies the Section V sparse cover hierarchy.
+func BuildCover(g *Graph, seed int64) (*CoverHierarchy, error) {
+	return cover.Build(g, seed)
+}
+
+// OptLowerBound estimates a lower bound on the optimal makespan for a live
+// snapshot (the competitive-ratio denominator).
+func OptLowerBound(in lowerbound.Input) Time { return lowerbound.Estimate(in) }
+
+// LowerBoundInput is the snapshot fed to OptLowerBound.
+type LowerBoundInput = lowerbound.Input

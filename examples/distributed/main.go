@@ -1,0 +1,59 @@
+// Distributed: Algorithm 3 end to end — the fully decentralized bucket
+// scheduler running over a goroutine-per-node message-passing network on a
+// 2D grid (a network-on-chip-like fabric). No central authority exists:
+// transactions discover their objects through home directories, report to
+// sparse-cover cluster leaders, and leaders coordinate through reservations
+// at the homes, all with real message latencies, while objects move at half
+// speed (the paper's Section V device).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtm"
+	"dtm/internal/batch"
+)
+
+func main() {
+	g, err := dtm.Grid(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := dtm.Generate(g, dtm.WorkloadConfig{
+		K:          2,
+		NumObjects: 18,
+		Rounds:     2,
+		Arrival:    dtm.ArrivalPeriodic,
+		Period:     dtm.Time(g.Diameter()) * 3,
+		Seed:       11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := dtm.RunDistributed(in, dtm.DistributedOptions{
+		Batch:    batch.Tour{},
+		Seed:     3,
+		Parallel: true, // goroutine per active node each step
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("grid 6x6 (diameter %d), %d transactions, %d objects\n\n", g.Diameter(), len(in.Txns), len(in.Objects))
+	fmt.Printf("scheduler:         %s\n", res.Scheduler)
+	fmt.Printf("makespan:          %d steps (objects at half speed)\n", res.Makespan)
+	fmt.Printf("max latency:       %d steps\n", res.MaxLat)
+	fmt.Printf("competitive:       max %.2f / mean %.2f\n", res.MaxRatio, res.MeanRatio())
+	fmt.Printf("protocol messages: %d (total distance %d)\n", res.Messages, res.MsgDistance)
+	fmt.Printf("sparse cover:      %d layers, <= %d sub-layers per layer\n", res.CoverLayers, res.SubLayers)
+	fmt.Printf("bucket audit:      %d reports, %d insertions, %d activations, max level %d\n",
+		res.Audit.Reports, res.Audit.Inserted, res.Audit.Activations, res.Audit.MaxLevelUsed)
+	fmt.Printf("layer choices:     %v\n", res.Audit.LayerCounts)
+
+	if res.Err != nil {
+		log.Fatalf("schedule violated the model: %v", res.Err)
+	}
+	fmt.Println("\nevery decision was computed by message passing and verified by the engine ✓")
+}

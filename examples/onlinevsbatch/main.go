@@ -1,0 +1,68 @@
+// Onlinevsbatch: the same line-graph workload scheduled three ways —
+// the online greedy schedule (Algorithm 1), the online bucket conversion
+// (Algorithm 2), and the clairvoyant offline batch scheduler given the
+// whole workload up front (every transaction arriving at time 0). The gap
+// between online and offline is exactly what the competitive-ratio theory
+// bounds; the gap between greedy and bucket on a large-diameter graph is
+// what Section IV is for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtm"
+)
+
+func main() {
+	const n = 96
+	g, err := dtm.Line(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mkWorkload := func(arrival dtm.WorkloadConfig) (*dtm.Instance, error) {
+		arrival.K = 2
+		arrival.NumObjects = n / 2
+		arrival.Rounds = 3
+		arrival.Seed = 5
+		return dtm.Generate(g, arrival)
+	}
+
+	online, err := mkWorkload(dtm.WorkloadConfig{Arrival: dtm.ArrivalPeriodic, Period: dtm.Time(n)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	offline, err := mkWorkload(dtm.WorkloadConfig{Arrival: dtm.ArrivalBatch})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		name     string
+		makespan dtm.Time
+		maxLat   dtm.Time
+		ratio    float64
+	}
+	var rows []row
+	runOnline := func(name string, s dtm.Scheduler, in *dtm.Instance) {
+		rr, err := dtm.Run(in, s, dtm.RunOptions{})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		rows = append(rows, row{name, rr.Makespan, rr.MaxLat, rr.MaxRatio})
+	}
+	runOnline("online greedy (Alg 1)", dtm.NewGreedy(dtm.GreedyOptions{}), online)
+	runOnline("online bucket (Alg 2, tour)", dtm.NewBucket(dtm.BucketOptions{Batch: dtm.TourBatch()}), online)
+	// The offline comparator sees the whole batch at t=0; running the
+	// bucket scheduler on a batch arrival is exactly one batch problem.
+	runOnline("offline batch (all at t=0)", dtm.NewBucket(dtm.BucketOptions{Batch: dtm.TourBatch()}), offline)
+
+	fmt.Printf("line graph, n=%d, diameter %d, k=2, %d transactions\n\n", n, g.Diameter(), len(online.Txns))
+	fmt.Printf("%-30s %10s %12s %10s\n", "scheduler", "makespan", "max latency", "max ratio")
+	for _, r := range rows {
+		fmt.Printf("%-30s %10d %12d %10.2f\n", r.name, r.makespan, r.maxLat, r.ratio)
+	}
+	fmt.Println("\nThe online schedulers pay the competitive overhead the paper bounds;")
+	fmt.Println("the bucket conversion trades constants for a worst-case O(log^3 n) guarantee")
+	fmt.Println("on this large-diameter graph (Section IV-D).")
+}

@@ -1,0 +1,3 @@
+module dtm
+
+go 1.22

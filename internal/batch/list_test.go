@@ -1,0 +1,160 @@
+package batch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+)
+
+func TestListFeasibleOnTopologies(t *testing.T) {
+	tops := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Clique(10) },
+		func() (*graph.Graph, error) { return graph.Line(16) },
+		func() (*graph.Graph, error) { return graph.Star(graph.StarSpec{Rays: 4, RayLen: 4}) },
+		func() (*graph.Graph, error) { return graph.Cluster(graph.ClusterSpec{Alpha: 3, Beta: 4, Gamma: 4}) },
+	}
+	for _, mk := range tops {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		txns, avail := randomBatch(t, g, 2, 8, g.N(), 7)
+		replayBatch(t, g, txns, avail, List{})
+	}
+}
+
+func TestListBeatsOrMatchesTourOnChains(t *testing.T) {
+	// One hot object on a line: list scheduling serves requesters at the
+	// exact travel times; tour pays its 2x first-leg budget.
+	g, _ := graph.Line(32)
+	var txns []*core.Transaction
+	for i := 0; i < 32; i += 2 {
+		txns = append(txns, &core.Transaction{ID: core.TxID(i / 2), Node: graph.NodeID(i), Objects: []core.ObjID{0}})
+	}
+	avail := map[core.ObjID]Avail{0: {Node: 0, Free: 0}}
+	mkList := replayBatch(t, g, txns, avail, List{})
+	mkTour := replayBatch(t, g, txns, avail, Tour{})
+	if mkList > mkTour {
+		t.Errorf("list makespan %d worse than tour %d on a chain", mkList, mkTour)
+	}
+	if mkList != 30 {
+		t.Errorf("list makespan = %d, want 30 (exact sweep)", mkList)
+	}
+}
+
+func TestListRespectsArrivalAndAvailability(t *testing.T) {
+	g, _ := graph.Line(8)
+	txns := []*core.Transaction{
+		{ID: 0, Node: 7, Arrival: 50, Objects: []core.ObjID{0}},
+	}
+	avail := map[core.ObjID]Avail{0: {Node: 0, Free: 10}}
+	asgn, err := (List{}).Schedule(&Problem{G: g, Now: 0, Txns: txns, Avail: avail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asgn[0] != 50 { // arrival dominates 10+7
+		t.Errorf("exec = %d, want 50", asgn[0])
+	}
+}
+
+func TestListSlowFactor(t *testing.T) {
+	g, _ := graph.Line(8)
+	txns := []*core.Transaction{{ID: 0, Node: 7, Objects: []core.ObjID{0}}}
+	avail := map[core.ObjID]Avail{0: {Node: 0, Free: 0}}
+	asgn, err := (List{}).Schedule(&Problem{G: g, Now: 0, Txns: txns, Avail: avail, Slow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asgn[0] != 14 {
+		t.Errorf("exec = %d, want 14 (distance 7 at half speed)", asgn[0])
+	}
+}
+
+func TestSuffixPropertyNeverHurtsAndStaysFeasible(t *testing.T) {
+	check := func(seed int64) bool {
+		s := seed
+		if s < 0 {
+			s = -s
+		}
+		g, err := graph.Line(10 + int(s%10))
+		if err != nil {
+			return false
+		}
+		txns, avail := randomBatchQuiet(g, 1+int(s%2), 6, g.N(), s)
+		base := Tour{}
+		wrapped := WithSuffixProperty(base)
+		p := &Problem{G: g, Now: 0, Txns: txns, Avail: avail}
+		a0, err := base.Schedule(p)
+		if err != nil {
+			return false
+		}
+		a1, err := wrapped.Schedule(p)
+		if err != nil {
+			return false
+		}
+		if a1.Makespan(0) > a0.Makespan(0) {
+			return false // the modification must never lengthen the schedule
+		}
+		return feasible(g, txns, avail, a1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuffixPropertyImprovesPaddedTour(t *testing.T) {
+	// A far transaction then a local one: tour schedules both along one
+	// long component-wide timeline; the suffix pass pulls the tail in.
+	g, _ := graph.Line(64)
+	txns := []*core.Transaction{
+		{ID: 0, Node: 63, Objects: []core.ObjID{0}},
+		{ID: 1, Node: 63, Objects: []core.ObjID{0, 1}},
+	}
+	avail := map[core.ObjID]Avail{
+		0: {Node: 0, Free: 0},
+		1: {Node: 62, Free: 0},
+	}
+	p := &Problem{G: g, Now: 0, Txns: txns, Avail: avail}
+	a0, err := (Tour{}).Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := WithSuffixProperty(Tour{}).Schedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Makespan(0) > a0.Makespan(0) {
+		t.Errorf("suffix wrapper worsened makespan: %d > %d", a1.Makespan(0), a0.Makespan(0))
+	}
+	if !feasible(g, txns, avail, a1) {
+		t.Error("suffix-normalized schedule infeasible")
+	}
+	if got := WithSuffixProperty(Tour{}).Name(); got != "tour-batch+suffix" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+// Property: list scheduling is feasible on random connected graphs.
+func TestListAlwaysFeasible(t *testing.T) {
+	check := func(seed int64) bool {
+		s := seed
+		if s < 0 {
+			s = -s
+		}
+		g, err := graph.RandomConnected(8+int(s%8), int(s%12), 3, s)
+		if err != nil {
+			return false
+		}
+		txns, avail := randomBatchQuiet(g, 1+int(s%3), 6, g.N(), s)
+		asgn, err := (List{}).Schedule(&Problem{G: g, Now: 0, Txns: txns, Avail: avail})
+		if err != nil {
+			return false
+		}
+		return feasible(g, txns, avail, asgn)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

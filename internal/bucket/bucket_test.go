@@ -1,0 +1,185 @@
+package bucket
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"dtm/internal/batch"
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/sched"
+	"dtm/internal/workload"
+)
+
+func runBucket(t *testing.T, in *core.Instance, a batch.Scheduler) (*sched.RunResult, Audit) {
+	t.Helper()
+	b := New(Options{Batch: a})
+	rr, err := sched.Run(in, b, sched.Options{})
+	if err != nil {
+		t.Fatalf("%s run failed: %v", b.Name(), err)
+	}
+	return rr, b.Audit()
+}
+
+func TestBucketRequiresBatchScheduler(t *testing.T) {
+	g, _ := graph.Clique(4)
+	in, err := workload.SingleObjectChain(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Run(in, New(Options{}), sched.Options{}); err == nil {
+		t.Fatal("nil batch scheduler should fail at Start")
+	}
+}
+
+func TestBucketOnLineBatchArrivals(t *testing.T) {
+	g, _ := graph.Line(16)
+	in, err := workload.Generate(g, workload.Config{
+		K: 2, NumObjects: 8, Rounds: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, audit := runBucket(t, in, batch.Tour{})
+	if audit.Inserted != len(in.Txns) || audit.Scheduled != len(in.Txns) {
+		t.Errorf("audit inserted/scheduled = %d/%d, want %d", audit.Inserted, audit.Scheduled, len(in.Txns))
+	}
+	if rr.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestBucketLemma3LevelCap(t *testing.T) {
+	g, _ := graph.Line(32)
+	in, err := workload.Generate(g, workload.Config{
+		K: 2, NumObjects: 10, Rounds: 3,
+		Arrival: workload.ArrivalPeriodic, Period: 40, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, audit := runBucket(t, in, batch.Tour{})
+	nd := uint64(g.N()) * uint64(g.Diameter())
+	lemma3 := bits.Len64(nd-1) + 1
+	if audit.MaxLevelUsed > lemma3 {
+		t.Errorf("max level used %d exceeds Lemma 3 cap %d", audit.MaxLevelUsed, lemma3)
+	}
+	if audit.Overflowed != 0 {
+		t.Errorf("%d overflows on a model-respecting workload", audit.Overflowed)
+	}
+}
+
+func TestBucketSmallTransactionsUseLowLevels(t *testing.T) {
+	// A single co-located transaction has batch cost ~0 and should land in
+	// a very low bucket, executing promptly.
+	g, _ := graph.Line(64)
+	in := &core.Instance{
+		G:       g,
+		Objects: []*core.Object{{ID: 0, Origin: 5}},
+		Txns:    []*core.Transaction{{ID: 0, Node: 5, Objects: []core.ObjID{0}}},
+	}
+	rr, audit := runBucket(t, in, batch.Tour{})
+	if audit.MaxLevelUsed > 1 {
+		t.Errorf("co-located transaction landed in level %d, want <= 1", audit.MaxLevelUsed)
+	}
+	if rr.Makespan > 2 {
+		t.Errorf("makespan = %d, want <= 2 (prompt execution)", rr.Makespan)
+	}
+}
+
+func TestBucketActivationPeriods(t *testing.T) {
+	// A far transaction (distance 32) cannot fit level < 6; its bucket
+	// activates on a multiple of 2^6 at the earliest.
+	g, _ := graph.Line(64)
+	in := &core.Instance{
+		G:       g,
+		Objects: []*core.Object{{ID: 0, Origin: 0}},
+		Txns:    []*core.Transaction{{ID: 0, Node: 32, Arrival: 1, Objects: []core.ObjID{0}}},
+	}
+	rr, audit := runBucket(t, in, batch.Tour{})
+	if audit.LevelCounts[6] != 1 {
+		t.Errorf("level counts = %v, want the transaction at level 6", audit.LevelCounts)
+	}
+	// Activation at t=64; the tour batcher budgets 2x the 32-step span
+	// (first-leg slack + tour prefix): execution by 128.
+	if rr.Makespan < 64 || rr.Makespan > 128 {
+		t.Errorf("makespan = %d, want within [64,128]", rr.Makespan)
+	}
+}
+
+func TestBucketLemma4Adherence(t *testing.T) {
+	g, _ := graph.Line(24)
+	in, err := workload.Generate(g, workload.Config{
+		K: 2, NumObjects: 8, Rounds: 4,
+		Arrival: workload.ArrivalPeriodic, Period: 60, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, audit := runBucket(t, in, batch.Tour{})
+	if audit.WithinLemma4 != audit.Scheduled {
+		t.Errorf("Lemma 4 bound missed for %d/%d transactions",
+			audit.Scheduled-audit.WithinLemma4, audit.Scheduled)
+	}
+}
+
+func TestBucketAcrossTopologiesAndBatchers(t *testing.T) {
+	tops := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(16) },
+		func() (*graph.Graph, error) { return graph.Cluster(graph.ClusterSpec{Alpha: 3, Beta: 4, Gamma: 5}) },
+		func() (*graph.Graph, error) { return graph.Star(graph.StarSpec{Rays: 4, RayLen: 4}) },
+		func() (*graph.Graph, error) { return graph.Hypercube(3) },
+	}
+	for _, mk := range tops {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range []batch.Scheduler{batch.Tour{}, batch.Coloring{}} {
+			in, err := workload.Generate(g, workload.Config{
+				K: 2, NumObjects: 6, Rounds: 2,
+				Arrival: workload.ArrivalPoisson, Period: 15, Seed: 11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runBucket(t, in, a) // driver + engine validate feasibility
+		}
+	}
+}
+
+// Property: bucket scheduling is always engine-feasible on random line
+// workloads with both batch algorithms.
+func TestBucketAlwaysFeasible(t *testing.T) {
+	check := func(seed int64) bool {
+		s := seed
+		if s < 0 {
+			s = -s
+		}
+		g, err := graph.Line(8 + int(s%12))
+		if err != nil {
+			return false
+		}
+		in, err := workload.Generate(g, workload.Config{
+			K:          1 + int(s%2),
+			NumObjects: 5,
+			Rounds:     2,
+			Arrival:    workload.ArrivalKind(s % 4),
+			Period:     10,
+			Seed:       s,
+		})
+		if err != nil {
+			return false
+		}
+		for _, a := range []batch.Scheduler{batch.Tour{}, batch.Coloring{}} {
+			if _, err := sched.Run(in, New(Options{Batch: a}), sched.Options{}); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

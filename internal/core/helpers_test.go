@@ -1,0 +1,12 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func sortDecisionsByAt(ds []Decision) {
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].At < ds[j].At })
+}

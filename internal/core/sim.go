@@ -1,0 +1,644 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"dtm/internal/graph"
+)
+
+// SimOptions configure a Sim.
+type SimOptions struct {
+	// SlowFactor multiplies object travel time per edge. The distributed
+	// bucket protocol (Section V) halves object speed (SlowFactor 2) so
+	// that discovery messages, which travel at full speed, always catch
+	// moving objects. Zero means 1 (full speed).
+	SlowFactor int
+	// LinkCapacity bounds how many objects may traverse one edge
+	// simultaneously (0 = unbounded, the paper's model). The paper's
+	// concluding remarks pose bounded-capacity links as an open problem;
+	// with a bound set, objects queue at busy edges in deterministic
+	// order. Use together with ElasticExec, since schedulers are
+	// capacity-oblivious and congestion turns fixed execution times into
+	// violations otherwise.
+	LinkCapacity int
+	// ElasticExec makes execution wait for late objects instead of
+	// failing: a transaction executes at the first step >= its decided
+	// time at which all its objects are present. Latencies then include
+	// congestion delay.
+	ElasticExec bool
+}
+
+func (o SimOptions) slow() graph.Weight {
+	if o.SlowFactor <= 0 {
+		return 1
+	}
+	return graph.Weight(o.SlowFactor)
+}
+
+// ObjLoc describes where an object is at the Sim's current time. If
+// InTransit, the object has committed to its current edge and will reach
+// Next at time Arrive (the paper's "artificial node" on the edge);
+// otherwise it sits at Node.
+type ObjLoc struct {
+	InTransit bool
+	Node      graph.NodeID // meaningful when !InTransit
+	Next      graph.NodeID // meaningful when InTransit
+	Arrive    Time         // meaningful when InTransit
+}
+
+// ViolationError reports that a transaction executed without one of its
+// objects present — i.e. the schedule fed to the Sim was infeasible.
+type ViolationError struct {
+	Tx     TxID
+	Obj    ObjID
+	At     Time
+	Detail string
+}
+
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("core: schedule violation at t=%d: transaction %d missing object %d (%s)",
+		e.At, e.Tx, e.Obj, e.Detail)
+}
+
+const (
+	prioReady = iota // object creation
+	prioArrive
+	prioExec
+)
+
+type event struct {
+	at   Time
+	prio int
+	seq  int
+	id   int // ObjID for ready/arrive, TxID for exec
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type edgeKey struct{ u, v graph.NodeID }
+
+func mkEdgeKey(a, b graph.NodeID) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{u: a, v: b}
+}
+
+type objState struct {
+	exists    bool
+	at        graph.NodeID
+	inTransit bool
+	next      graph.NodeID
+	arrive    Time
+	curEdge   edgeKey // edge being traversed, when inTransit
+	queued    bool    // waiting for a busy edge (LinkCapacity mode)
+	queuedOn  edgeKey
+	pending   []TxID // decided, unserved users, sorted by (exec, txID)
+	traveled  graph.Weight
+}
+
+// Sim is the event-driven execution engine for the synchronous data-flow
+// model. Feed it scheduling decisions with Decide and move time forward
+// with AdvanceTo; it errors the moment a decision proves infeasible.
+//
+// Within one time step the Sim performs the paper's three node actions in
+// order: receive objects, execute transactions whose step has come, then
+// forward objects (dispatch).
+type Sim struct {
+	in   *Instance
+	opts SimOptions
+
+	now       Time
+	objs      []objState
+	exec      []Time // per tx; -1 = undecided
+	decidedAt []Time // per tx; -1 = undecided
+	done      []bool
+	doneAt    []Time // actual execution time (== exec unless ElasticExec)
+	doneCount int
+
+	events eventHeap
+	seq    int
+	dirty  map[ObjID]bool
+	failed error
+
+	// Bounded-capacity links (SimOptions.LinkCapacity).
+	edgeBusy  map[edgeKey]int
+	edgeQueue map[edgeKey][]ObjID
+	// Transactions past their decided time waiting for late objects
+	// (SimOptions.ElasticExec).
+	due map[TxID]bool
+}
+
+// NewSim validates the instance and prepares a simulation at time 0.
+func NewSim(in *Instance, opts SimOptions) (*Sim, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		in:        in,
+		opts:      opts,
+		objs:      make([]objState, len(in.Objects)),
+		exec:      make([]Time, len(in.Txns)),
+		decidedAt: make([]Time, len(in.Txns)),
+		done:      make([]bool, len(in.Txns)),
+		doneAt:    make([]Time, len(in.Txns)),
+		dirty:     make(map[ObjID]bool),
+		edgeBusy:  make(map[edgeKey]int),
+		edgeQueue: make(map[edgeKey][]ObjID),
+		due:       make(map[TxID]bool),
+	}
+	for i := range s.exec {
+		s.exec[i] = -1
+		s.decidedAt[i] = -1
+	}
+	for _, o := range in.Objects {
+		s.objs[o.ID].at = o.Origin
+		s.push(event{at: o.Created, prio: prioReady, id: int(o.ID)})
+	}
+	return s, nil
+}
+
+func (s *Sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// AddTransaction appends a transaction generated during the run — the
+// paper's closed-loop process (Section III-C), where a node issues its
+// next transaction one step after the previous one commits. The ID must be
+// the next dense ID and the arrival must not be in the past.
+func (s *Sim) AddTransaction(tx *Transaction) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	if tx == nil {
+		return fmt.Errorf("core: AddTransaction: nil transaction")
+	}
+	if tx.ID != TxID(len(s.in.Txns)) {
+		return fmt.Errorf("core: AddTransaction: ID %d, want next dense ID %d", tx.ID, len(s.in.Txns))
+	}
+	if tx.Node < 0 || int(tx.Node) >= s.in.G.N() {
+		return fmt.Errorf("core: AddTransaction: node %d out of range", tx.Node)
+	}
+	if tx.Arrival < s.now {
+		return fmt.Errorf("core: AddTransaction: arrival t=%d before now t=%d", tx.Arrival, s.now)
+	}
+	if len(tx.Objects) == 0 {
+		return fmt.Errorf("core: AddTransaction: no objects")
+	}
+	for i, o := range tx.Objects {
+		if o < 0 || int(o) >= len(s.in.Objects) {
+			return fmt.Errorf("core: AddTransaction: unknown object %d", o)
+		}
+		if i > 0 && tx.Objects[i-1] >= o {
+			return fmt.Errorf("core: AddTransaction: object list not sorted/deduplicated")
+		}
+	}
+	s.in.Txns = append(s.in.Txns, tx)
+	s.exec = append(s.exec, -1)
+	s.decidedAt = append(s.decidedAt, -1)
+	s.done = append(s.done, false)
+	s.doneAt = append(s.doneAt, 0)
+	return nil
+}
+
+// Instance returns the instance being simulated.
+func (s *Sim) Instance() *Instance { return s.in }
+
+// Decide fixes the execution time of tx. Decisions are irrevocable (the
+// paper's schedulers never alter previously scheduled transactions) and must
+// not be in the past or before the transaction's arrival.
+func (s *Sim) Decide(tx TxID, exec Time) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	if tx < 0 || int(tx) >= len(s.in.Txns) {
+		return fmt.Errorf("core: Decide: unknown transaction %d", tx)
+	}
+	if s.exec[tx] >= 0 {
+		return fmt.Errorf("core: Decide: transaction %d already scheduled for t=%d", tx, s.exec[tx])
+	}
+	if exec < s.now {
+		return fmt.Errorf("core: Decide: transaction %d execution t=%d is before now t=%d", tx, exec, s.now)
+	}
+	t := s.in.Txns[tx]
+	if exec < t.Arrival {
+		return fmt.Errorf("core: Decide: transaction %d execution t=%d precedes arrival t=%d", tx, exec, t.Arrival)
+	}
+	s.exec[tx] = exec
+	s.decidedAt[tx] = s.now
+	s.push(event{at: exec, prio: prioExec, id: int(tx)})
+	for _, o := range t.Objects {
+		s.insertPending(o, tx)
+		s.dirty[o] = true
+	}
+	// Forwarding is deferred to the next AdvanceTo: all decisions made at
+	// the current step see object positions as of this step, and objects
+	// depart once, toward the earliest user across the whole batch of
+	// decisions (the paper's receive/execute/forward step order).
+	return nil
+}
+
+// insertPending keeps the object's user queue sorted by (exec, txID).
+func (s *Sim) insertPending(o ObjID, tx TxID) {
+	p := s.objs[o].pending
+	i := 0
+	for i < len(p) && (s.exec[p[i]] < s.exec[tx] || (s.exec[p[i]] == s.exec[tx] && p[i] < tx)) {
+		i++
+	}
+	p = append(p, 0)
+	copy(p[i+1:], p[i:])
+	p[i] = tx
+	s.objs[o].pending = p
+}
+
+func (s *Sim) removePending(o ObjID, tx TxID) {
+	p := s.objs[o].pending
+	for i, id := range p {
+		if id == tx {
+			s.objs[o].pending = append(p[:i], p[i+1:]...)
+			return
+		}
+	}
+}
+
+// NextInternalEvent returns the time of the earliest unprocessed internal
+// event, if any.
+func (s *Sim) NextInternalEvent() (Time, bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events[0].at, true
+}
+
+// AdvanceTo processes every internal event with time <= t and moves the
+// clock to t. It returns a *ViolationError as soon as a transaction
+// executes without its objects.
+func (s *Sim) AdvanceTo(t Time) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	if t < s.now {
+		return fmt.Errorf("core: AdvanceTo: cannot rewind from t=%d to t=%d", s.now, t)
+	}
+	// Forward objects for decisions made since the last advance; their
+	// departure time is the current step.
+	s.dispatchDirty()
+	for len(s.events) > 0 && s.events[0].at <= t {
+		at := s.events[0].at
+		s.now = at
+		// Drain every event at this timestamp in priority order
+		// (receive, execute), then dispatch (forward).
+		for len(s.events) > 0 && s.events[0].at == at {
+			e := heap.Pop(&s.events).(event)
+			switch e.prio {
+			case prioReady:
+				s.objs[e.id].exists = true
+				s.dirty[ObjID(e.id)] = true
+			case prioArrive:
+				os := &s.objs[e.id]
+				os.at = os.next
+				os.inTransit = false
+				s.dirty[ObjID(e.id)] = true
+				s.releaseEdge(os.curEdge)
+			case prioExec:
+				if err := s.executeTx(TxID(e.id)); err != nil {
+					s.failed = err
+					return err
+				}
+			}
+		}
+		s.attemptDue()
+		s.dispatchDirty()
+	}
+	s.now = t
+	return nil
+}
+
+func (s *Sim) executeTx(tx TxID) error {
+	t := s.in.Txns[tx]
+	for _, o := range t.Objects {
+		os := &s.objs[o]
+		var detail string
+		switch {
+		case !os.exists:
+			detail = "object not created yet"
+		case os.inTransit:
+			detail = fmt.Sprintf("object in transit to node %d (arrives t=%d)", os.next, os.arrive)
+		case os.at != t.Node:
+			detail = fmt.Sprintf("object at node %d, transaction at node %d", os.at, t.Node)
+		default:
+			continue
+		}
+		if s.opts.ElasticExec {
+			// Wait for the stragglers; attemptDue retries as objects land.
+			s.due[tx] = true
+			return nil
+		}
+		return &ViolationError{Tx: tx, Obj: o, At: s.now, Detail: detail}
+	}
+	s.commitTx(tx)
+	return nil
+}
+
+func (s *Sim) commitTx(tx TxID) {
+	for _, o := range s.in.Txns[tx].Objects {
+		s.removePending(o, tx)
+		s.dirty[o] = true
+	}
+	s.done[tx] = true
+	s.doneAt[tx] = s.now
+	s.doneCount++
+	delete(s.due, tx)
+}
+
+// attemptDue retries elastic-mode transactions whose decided time has
+// passed, in transaction-ID order, until no more can commit this step.
+func (s *Sim) attemptDue() {
+	if len(s.due) == 0 {
+		return
+	}
+	for progress := true; progress; {
+		progress = false
+		ids := make([]TxID, 0, len(s.due))
+		for id := range s.due {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, tx := range ids {
+			if s.allPresent(tx) {
+				s.commitTx(tx)
+				progress = true
+			}
+		}
+	}
+}
+
+func (s *Sim) allPresent(tx TxID) bool {
+	t := s.in.Txns[tx]
+	for _, o := range t.Objects {
+		os := &s.objs[o]
+		if !os.exists || os.inTransit || os.at != t.Node {
+			return false
+		}
+		// Preserve each object's decided serialization order: commit only
+		// as the head of every queue. Queues are sorted by the same
+		// (exec, txID) key globally, so no head-waiting cycle can form.
+		if len(os.pending) == 0 || os.pending[0] != tx {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatchDirty performs the "forward objects" action for every object
+// whose situation changed at the current step, in object-ID order (the
+// order matters once links have bounded capacity).
+func (s *Sim) dispatchDirty() {
+	if len(s.dirty) == 0 {
+		return
+	}
+	ids := make([]ObjID, 0, len(s.dirty))
+	for o := range s.dirty {
+		ids = append(ids, o)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, o := range ids {
+		delete(s.dirty, o)
+		s.dispatch(o)
+	}
+}
+
+func (s *Sim) dispatch(o ObjID) {
+	os := &s.objs[o]
+	if !os.exists || os.inTransit || os.queued || len(os.pending) == 0 {
+		return
+	}
+	target := s.in.Txns[os.pending[0]].Node
+	if os.at == target {
+		return // wait at the requester until it executes
+	}
+	hop := s.in.G.NextHop(os.at, target)
+	key := mkEdgeKey(os.at, hop)
+	if cap := s.opts.LinkCapacity; cap > 0 && s.edgeBusy[key] >= cap {
+		// The link is saturated: queue in deterministic (FIFO) order and
+		// re-dispatch when a traverser arrives.
+		os.queued = true
+		os.queuedOn = key
+		s.edgeQueue[key] = append(s.edgeQueue[key], o)
+		return
+	}
+	w, _ := s.in.G.EdgeWeight(os.at, hop)
+	s.edgeBusy[key]++
+	os.inTransit = true
+	os.next = hop
+	os.curEdge = key
+	os.arrive = s.now + Time(w*s.opts.slow())
+	os.traveled += w
+	s.push(event{at: os.arrive, prio: prioArrive, id: int(o)})
+}
+
+// releaseEdge frees one traversal slot and re-dispatches the next queued
+// object, if any.
+func (s *Sim) releaseEdge(key edgeKey) {
+	if s.edgeBusy[key] > 0 {
+		s.edgeBusy[key]--
+	}
+	q := s.edgeQueue[key]
+	if len(q) == 0 {
+		return
+	}
+	o := q[0]
+	s.edgeQueue[key] = q[1:]
+	s.objs[o].queued = false
+	// Re-evaluate from scratch: the head user may have changed while the
+	// object waited.
+	s.dirty[o] = true
+}
+
+// ObjectLocation reports where object o is at the current time.
+func (s *Sim) ObjectLocation(o ObjID) ObjLoc {
+	os := &s.objs[o]
+	if os.inTransit {
+		return ObjLoc{InTransit: true, Next: os.next, Arrive: os.arrive}
+	}
+	return ObjLoc{Node: os.at}
+}
+
+// ObjDistTo returns a feasible travel time from object o's current position
+// to node x: if the object is mid-edge it must first finish crossing
+// (forward-only rule), matching the extended dependency graph's artificial
+// node of Section III-B.
+func (s *Sim) ObjDistTo(o ObjID, x graph.NodeID) graph.Weight {
+	os := &s.objs[o]
+	if os.inTransit {
+		return graph.Weight(os.arrive-s.now) + s.in.G.Dist(os.next, x)*s.opts.slow()
+	}
+	return s.in.G.Dist(os.at, x) * s.opts.slow()
+}
+
+// Executed returns the actual execution time of tx, if it has executed
+// (equal to the decided time except under ElasticExec).
+func (s *Sim) Executed(tx TxID) (Time, bool) {
+	if s.done[tx] {
+		return s.doneAt[tx], true
+	}
+	return 0, false
+}
+
+// Scheduled returns the decided execution time of tx, if any.
+func (s *Sim) Scheduled(tx TxID) (Time, bool) {
+	if s.exec[tx] >= 0 {
+		return s.exec[tx], true
+	}
+	return 0, false
+}
+
+// DecidedAt returns the time at which tx's execution time was decided.
+func (s *Sim) DecidedAt(tx TxID) (Time, bool) {
+	if s.decidedAt[tx] >= 0 {
+		return s.decidedAt[tx], true
+	}
+	return 0, false
+}
+
+// AllExecuted reports whether every transaction has executed.
+func (s *Sim) AllExecuted() bool { return s.doneCount == len(s.in.Txns) }
+
+// LastUser returns the final decided user of object o (the one with the
+// largest execution time) and that time, or ok=false if no user is decided.
+// Batch schedulers use it to derive object availability.
+func (s *Sim) LastUser(o ObjID) (TxID, Time, bool) {
+	p := s.objs[o].pending
+	if len(p) == 0 {
+		return 0, 0, false
+	}
+	tx := p[len(p)-1]
+	return tx, s.exec[tx], true
+}
+
+// Result summarizes a completed (or failed) run.
+type Result struct {
+	Makespan  Time         // max execution time over all transactions
+	MaxLat    Time         // max (exec - arrival)
+	SumLat    Time         // sum of latencies
+	Latency   []Time       // per-transaction latency, indexed by TxID
+	TotalComm graph.Weight // total distance traveled by all objects
+	Err       error        // non-nil if the run violated the model
+}
+
+// MeanLat returns the mean transaction latency.
+func (r *Result) MeanLat() float64 {
+	if len(r.Latency) == 0 {
+		return 0
+	}
+	return float64(r.SumLat) / float64(len(r.Latency))
+}
+
+// Result summarizes the run so far. Call after AllExecuted (or after an
+// error) for final numbers.
+func (s *Sim) Result() *Result {
+	r := &Result{Latency: make([]Time, len(s.in.Txns)), Err: s.failed}
+	for i, t := range s.in.Txns {
+		if !s.done[i] {
+			continue
+		}
+		// doneAt equals the decided time except under ElasticExec, where
+		// congestion may delay commits past it.
+		lat := s.doneAt[i] - t.Arrival
+		r.Latency[i] = lat
+		if s.doneAt[i] > r.Makespan {
+			r.Makespan = s.doneAt[i]
+		}
+		if lat > r.MaxLat {
+			r.MaxLat = lat
+		}
+		r.SumLat += lat
+	}
+	for i := range s.objs {
+		r.TotalComm += s.objs[i].traveled
+	}
+	return r
+}
+
+// RunToCompletion advances through internal events until every transaction
+// has executed. It fails if events run out first (some transaction was
+// never scheduled) or if a violation occurs.
+func (s *Sim) RunToCompletion() error {
+	for !s.AllExecuted() {
+		next, ok := s.NextInternalEvent()
+		if !ok {
+			return fmt.Errorf("core: simulation stuck at t=%d with %d/%d transactions executed (undecided transactions?)",
+				s.now, s.doneCount, len(s.in.Txns))
+		}
+		if err := s.AdvanceTo(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decision is a scheduling decision for replay: at time At, transaction Tx
+// was assigned execution time Exec.
+type Decision struct {
+	Tx   TxID
+	Exec Time
+	At   Time
+}
+
+// Replay validates a full decision list against the model and returns the
+// run's Result. Decisions must be sorted by At (ties allowed).
+func Replay(in *Instance, decisions []Decision, opts SimOptions) (*Result, error) {
+	s, err := NewSim(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Decisions sharing a timestamp are applied as one batch before any
+	// forwarding happens: all of a step's decisions see that step's object
+	// positions (receive/execute/forward step order).
+	for i := 0; i < len(decisions); {
+		at := decisions[i].At
+		if at < s.Now() {
+			return nil, fmt.Errorf("core: Replay: decisions not sorted by At")
+		}
+		if err := s.AdvanceTo(at); err != nil {
+			return s.Result(), err
+		}
+		for i < len(decisions) && decisions[i].At == at {
+			if err := s.Decide(decisions[i].Tx, decisions[i].Exec); err != nil {
+				return s.Result(), err
+			}
+			i++
+		}
+	}
+	if err := s.RunToCompletion(); err != nil {
+		return s.Result(), err
+	}
+	return s.Result(), nil
+}

@@ -1,0 +1,449 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dtm/internal/graph"
+)
+
+func lineInstance(t testing.TB, n int, objs []*Object, txns []*Transaction) *Instance {
+	t.Helper()
+	g, err := graph.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Instance{G: g, Objects: objs, Txns: txns}
+}
+
+func TestValidateCatchesBadInstances(t *testing.T) {
+	g, _ := graph.Line(4)
+	ok := &Instance{
+		G:       g,
+		Objects: []*Object{{ID: 0, Origin: 0}},
+		Txns:    []*Transaction{{ID: 0, Node: 1, Objects: []ObjID{0}}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	disconnected := graph.MustNew(3)
+	cases := []struct {
+		name string
+		in   *Instance
+	}{
+		{"no graph", &Instance{}},
+		{"disconnected", &Instance{G: disconnected}},
+		{"bad object id", &Instance{G: g, Objects: []*Object{{ID: 5, Origin: 0}}}},
+		{"object origin out of range", &Instance{G: g, Objects: []*Object{{ID: 0, Origin: 9}}}},
+		{"object negative created", &Instance{G: g, Objects: []*Object{{ID: 0, Origin: 0, Created: -1}}}},
+		{"tx unknown object", &Instance{G: g,
+			Objects: []*Object{{ID: 0, Origin: 0}},
+			Txns:    []*Transaction{{ID: 0, Node: 0, Objects: []ObjID{3}}}}},
+		{"tx no objects", &Instance{G: g,
+			Objects: []*Object{{ID: 0, Origin: 0}},
+			Txns:    []*Transaction{{ID: 0, Node: 0}}}},
+		{"tx unsorted objects", &Instance{G: g,
+			Objects: []*Object{{ID: 0, Origin: 0}, {ID: 1, Origin: 1}},
+			Txns:    []*Transaction{{ID: 0, Node: 0, Objects: []ObjID{1, 0}}}}},
+		{"tx duplicate objects", &Instance{G: g,
+			Objects: []*Object{{ID: 0, Origin: 0}},
+			Txns:    []*Transaction{{ID: 0, Node: 0, Objects: []ObjID{0, 0}}}}},
+		{"tx node out of range", &Instance{G: g,
+			Objects: []*Object{{ID: 0, Origin: 0}},
+			Txns:    []*Transaction{{ID: 0, Node: 7, Objects: []ObjID{0}}}}},
+		{"tx negative arrival", &Instance{G: g,
+			Objects: []*Object{{ID: 0, Origin: 0}},
+			Txns:    []*Transaction{{ID: 0, Node: 0, Arrival: -2, Objects: []ObjID{0}}}}},
+	}
+	for _, c := range cases {
+		if err := c.in.Validate(); err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+		}
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	a := &Transaction{Objects: []ObjID{1, 3, 5}}
+	b := &Transaction{Objects: []ObjID{2, 4, 5}}
+	c := &Transaction{Objects: []ObjID{0, 2}}
+	if !a.Conflicts(b) || !b.Conflicts(a) {
+		t.Error("a and b share object 5")
+	}
+	if a.Conflicts(c) {
+		t.Error("a and c are disjoint")
+	}
+	if !b.Conflicts(c) {
+		t.Error("b and c share object 2")
+	}
+}
+
+func TestNormalizeObjects(t *testing.T) {
+	got := NormalizeObjects([]ObjID{3, 1, 3, 2, 1})
+	want := []ObjID{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSingleTransactionCoLocated(t *testing.T) {
+	in := lineInstance(t, 3,
+		[]*Object{{ID: 0, Origin: 1}},
+		[]*Transaction{{ID: 0, Node: 1, Objects: []ObjID{0}}})
+	res, err := Replay(in, []Decision{{Tx: 0, Exec: 0, At: 0}}, SimOptions{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Makespan != 0 || res.MaxLat != 0 || res.TotalComm != 0 {
+		t.Errorf("result = %+v, want zeros", res)
+	}
+}
+
+func TestObjectMustTravel(t *testing.T) {
+	in := lineInstance(t, 6,
+		[]*Object{{ID: 0, Origin: 0}},
+		[]*Transaction{{ID: 0, Node: 5, Objects: []ObjID{0}}})
+	// Distance 5: exec at t=5 is feasible, t=4 is not.
+	if _, err := Replay(in, []Decision{{Tx: 0, Exec: 5, At: 0}}, SimOptions{}); err != nil {
+		t.Fatalf("exec=5 should be feasible: %v", err)
+	}
+	_, err := Replay(in, []Decision{{Tx: 0, Exec: 4, At: 0}}, SimOptions{})
+	var verr *ViolationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("exec=4 should violate, got %v", err)
+	}
+	if verr.Tx != 0 || verr.Obj != 0 || verr.At != 4 {
+		t.Errorf("violation = %+v", verr)
+	}
+}
+
+func TestTwoConflictingTransactionsOnLine(t *testing.T) {
+	in := lineInstance(t, 10,
+		[]*Object{{ID: 0, Origin: 0}},
+		[]*Transaction{
+			{ID: 0, Node: 2, Objects: []ObjID{0}},
+			{ID: 1, Node: 7, Objects: []ObjID{0}},
+		})
+	// Object: 0 -> 2 (t=2), 2 -> 7 (5 more). Gaps of exactly the distances.
+	if _, err := Replay(in, []Decision{
+		{Tx: 0, Exec: 2, At: 0},
+		{Tx: 1, Exec: 7, At: 0},
+	}, SimOptions{}); err != nil {
+		t.Fatalf("tight schedule should be feasible: %v", err)
+	}
+	// One step too tight for the second hop.
+	if _, err := Replay(in, []Decision{
+		{Tx: 0, Exec: 2, At: 0},
+		{Tx: 1, Exec: 6, At: 0},
+	}, SimOptions{}); err == nil {
+		t.Fatal("gap 4 < dist 5 should violate")
+	}
+}
+
+func TestObjectServesUsersInExecOrderNotDecisionOrder(t *testing.T) {
+	// Second decision has the EARLIER execution time; the object must visit
+	// it first even though it was decided later.
+	in := lineInstance(t, 12,
+		[]*Object{{ID: 0, Origin: 2}},
+		[]*Transaction{
+			{ID: 0, Node: 11, Objects: []ObjID{0}}, // far user
+			{ID: 1, Node: 0, Objects: []ObjID{0}},  // near user, inserted later
+		})
+	// t=0: schedule tx0 at t=20 (object starts toward node 11).
+	// t=1: object is at node 3; schedule tx1 at node 0 exec t=1+ObjDist.
+	s, err := NewSim(in, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Decide(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	// At t=1 the object has hopped to node 3 and already committed to the
+	// edge toward node 4 (forward-only rule): 1 step remaining + 4 back.
+	d := s.ObjDistTo(0, 0)
+	if d != 5 {
+		t.Fatalf("ObjDistTo = %d, want 5", d)
+	}
+	if err := s.Decide(1, 1+Time(d)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunToCompletion(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// tx1 executed at t=6, then object travels 0 -> 11 (11 steps), arriving
+	// t=17 <= 20: tx0 fine.
+	if got, _ := s.Executed(1); got != 6 {
+		t.Errorf("tx1 exec = %d, want 6", got)
+	}
+}
+
+func TestForwardOnlyRuleOnHeavyEdge(t *testing.T) {
+	// Weight-3 edges: an object mid-edge must finish crossing before
+	// reversing, so a user behind it pays (remaining + way back).
+	g := graph.MustNew(3)
+	if err := g.AddEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	in := &Instance{
+		G:       g,
+		Objects: []*Object{{ID: 0, Origin: 0}},
+		Txns: []*Transaction{
+			{ID: 0, Node: 2, Objects: []ObjID{0}},
+			{ID: 1, Node: 0, Objects: []ObjID{0}},
+		},
+	}
+	s, err := NewSim(in, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Decide(0, 50); err != nil { // object departs toward node 2
+		t.Fatal(err)
+	}
+	if err := s.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	loc := s.ObjectLocation(0)
+	if !loc.InTransit || loc.Next != 1 || loc.Arrive != 3 {
+		t.Fatalf("object location = %+v, want in transit to 1 arriving t=3", loc)
+	}
+	// Remaining 2 steps to node 1, then 3 back to node 0 = 5.
+	if d := s.ObjDistTo(0, 0); d != 5 {
+		t.Fatalf("ObjDistTo(0) = %d, want 5", d)
+	}
+	// exec = now + 5 = 6 is feasible; 5 is not.
+	if err := s.Decide(1, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunToCompletion(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got, _ := s.Executed(1); got != 6 {
+		t.Errorf("tx1 exec = %d, want 6", got)
+	}
+}
+
+func TestForwardOnlyViolationDetected(t *testing.T) {
+	g := graph.MustNew(3)
+	if err := g.AddEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	in := &Instance{
+		G:       g,
+		Objects: []*Object{{ID: 0, Origin: 0}},
+		Txns: []*Transaction{
+			{ID: 0, Node: 2, Objects: []ObjID{0}},
+			{ID: 1, Node: 0, Objects: []ObjID{0}},
+		},
+	}
+	// Naive static check would allow exec=4 for tx1 (dist(0,0)=0 at decision
+	// time... but the object left at t=0); the engine must catch it.
+	_, err := Replay(in, []Decision{
+		{Tx: 0, Exec: 50, At: 0},
+		{Tx: 1, Exec: 4, At: 1},
+	}, SimOptions{})
+	var verr *ViolationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("want violation, got %v", err)
+	}
+}
+
+func TestDecideValidation(t *testing.T) {
+	in := lineInstance(t, 4,
+		[]*Object{{ID: 0, Origin: 0}},
+		[]*Transaction{{ID: 0, Node: 0, Arrival: 5, Objects: []ObjID{0}}})
+	s, err := NewSim(in, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Decide(3, 0); err == nil {
+		t.Error("unknown tx: want error")
+	}
+	if err := s.Decide(0, 2); err == nil {
+		t.Error("exec before arrival: want error")
+	}
+	if err := s.AdvanceTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Decide(0, 9); err == nil {
+		t.Error("exec in past: want error")
+	}
+	if err := s.Decide(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Decide(0, 11); err == nil {
+		t.Error("double decide: want error")
+	}
+	if err := s.AdvanceTo(5); err == nil {
+		t.Error("rewind: want error")
+	}
+}
+
+func TestRunToCompletionStuckOnUndecided(t *testing.T) {
+	in := lineInstance(t, 4,
+		[]*Object{{ID: 0, Origin: 0}},
+		[]*Transaction{{ID: 0, Node: 0, Objects: []ObjID{0}}})
+	s, err := NewSim(in, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunToCompletion(); err == nil {
+		t.Error("want stuck error for undecided transaction")
+	}
+}
+
+func TestObjectCreatedLate(t *testing.T) {
+	in := lineInstance(t, 4,
+		[]*Object{{ID: 0, Origin: 0, Created: 10}},
+		[]*Transaction{{ID: 0, Node: 3, Objects: []ObjID{0}}})
+	// Object exists at t=10 and needs 3 steps: exec 13 ok, 12 not.
+	if _, err := Replay(in, []Decision{{Tx: 0, Exec: 13, At: 0}}, SimOptions{}); err != nil {
+		t.Fatalf("exec=13: %v", err)
+	}
+	if _, err := Replay(in, []Decision{{Tx: 0, Exec: 12, At: 0}}, SimOptions{}); err == nil {
+		t.Fatal("exec=12 should violate (object created at t=10)")
+	}
+}
+
+func TestSlowFactorDoublesTravel(t *testing.T) {
+	in := lineInstance(t, 6,
+		[]*Object{{ID: 0, Origin: 0}},
+		[]*Transaction{{ID: 0, Node: 5, Objects: []ObjID{0}}})
+	if _, err := Replay(in, []Decision{{Tx: 0, Exec: 10, At: 0}}, SimOptions{SlowFactor: 2}); err != nil {
+		t.Fatalf("exec=10 at half speed: %v", err)
+	}
+	if _, err := Replay(in, []Decision{{Tx: 0, Exec: 9, At: 0}}, SimOptions{SlowFactor: 2}); err == nil {
+		t.Fatal("exec=9 at half speed should violate")
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	in := lineInstance(t, 10,
+		[]*Object{{ID: 0, Origin: 0}, {ID: 1, Origin: 9}},
+		[]*Transaction{
+			{ID: 0, Node: 4, Arrival: 0, Objects: []ObjID{0}},
+			{ID: 1, Node: 4, Arrival: 2, Objects: []ObjID{1}},
+		})
+	res, err := Replay(in, []Decision{
+		{Tx: 0, Exec: 4, At: 0},
+		{Tx: 1, Exec: 7, At: 2},
+	}, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 7 {
+		t.Errorf("Makespan = %d, want 7", res.Makespan)
+	}
+	if res.MaxLat != 5 {
+		t.Errorf("MaxLat = %d, want 5", res.MaxLat)
+	}
+	if res.Latency[0] != 4 || res.Latency[1] != 5 {
+		t.Errorf("Latency = %v, want [4 5]", res.Latency)
+	}
+	if res.TotalComm != 4+5 {
+		t.Errorf("TotalComm = %d, want 9", res.TotalComm)
+	}
+	if got := res.MeanLat(); got != 4.5 {
+		t.Errorf("MeanLat = %v, want 4.5", got)
+	}
+}
+
+func TestReplayRequiresSortedDecisions(t *testing.T) {
+	in := lineInstance(t, 4,
+		[]*Object{{ID: 0, Origin: 0}},
+		[]*Transaction{
+			{ID: 0, Node: 0, Objects: []ObjID{0}},
+			{ID: 1, Node: 1, Objects: []ObjID{0}},
+		})
+	_, err := Replay(in, []Decision{
+		{Tx: 0, Exec: 5, At: 3},
+		{Tx: 1, Exec: 9, At: 1},
+	}, SimOptions{})
+	if err == nil {
+		t.Fatal("unsorted decisions: want error")
+	}
+}
+
+func TestArrivalHelpers(t *testing.T) {
+	in := lineInstance(t, 4,
+		[]*Object{{ID: 0, Origin: 0}},
+		[]*Transaction{
+			{ID: 0, Node: 0, Arrival: 3, Objects: []ObjID{0}},
+			{ID: 1, Node: 1, Arrival: 0, Objects: []ObjID{0}},
+			{ID: 2, Node: 2, Arrival: 3, Objects: []ObjID{0}},
+		})
+	at := in.ArrivalTimes()
+	if len(at) != 2 || at[0] != 0 || at[1] != 3 {
+		t.Errorf("ArrivalTimes = %v, want [0 3]", at)
+	}
+	if got := in.TxnsArriving(3); len(got) != 2 || got[0].ID != 0 || got[1].ID != 2 {
+		t.Errorf("TxnsArriving(3) wrong: %v", got)
+	}
+	req := in.Requesters()
+	if len(req[0]) != 3 {
+		t.Errorf("Requesters[0] = %v", req[0])
+	}
+}
+
+// Property: a fully serialized schedule — each transaction spaced by the
+// graph diameter times a generous constant — is always feasible, on random
+// instances over a line.
+func TestSerializedScheduleAlwaysFeasible(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := newTestRand(seed)
+		n := 5 + rng.Intn(10)
+		nObj := 1 + rng.Intn(4)
+		nTx := 1 + rng.Intn(8)
+		objs := make([]*Object, nObj)
+		for i := range objs {
+			objs[i] = &Object{ID: ObjID(i), Origin: graph.NodeID(rng.Intn(n))}
+		}
+		txns := make([]*Transaction, nTx)
+		for i := range txns {
+			k := 1 + rng.Intn(nObj)
+			set := make([]ObjID, 0, k)
+			for j := 0; j < k; j++ {
+				set = append(set, ObjID(rng.Intn(nObj)))
+			}
+			txns[i] = &Transaction{
+				ID:      TxID(i),
+				Node:    graph.NodeID(rng.Intn(n)),
+				Arrival: Time(rng.Intn(5)),
+				Objects: NormalizeObjects(set),
+			}
+		}
+		in := lineInstance(t, n, objs, txns)
+		// Serialize: transaction i executes at (i+1) * 2n, decided at
+		// arrival. Each gap exceeds the diameter so objects always make it.
+		decisions := make([]Decision, nTx)
+		for i := range decisions {
+			decisions[i] = Decision{Tx: TxID(i), Exec: Time((i + 1) * 2 * n), At: txns[i].Arrival}
+		}
+		// Replay requires At-sorted order.
+		sortDecisionsByAt(decisions)
+		_, err := Replay(in, decisions, SimOptions{})
+		return err == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package distbucket
+
+import (
+	"testing"
+
+	"dtm/internal/batch"
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/workload"
+)
+
+func run(t *testing.T, in *core.Instance, opts Options) *Result {
+	t.Helper()
+	if opts.Batch == nil {
+		opts.Batch = batch.Tour{}
+	}
+	res, err := Run(in, opts)
+	if err != nil {
+		t.Fatalf("distbucket run failed: %v", err)
+	}
+	return res
+}
+
+func TestRequiresBatchScheduler(t *testing.T) {
+	g, _ := graph.Line(4)
+	in, _ := workload.SingleObjectChain(g, 0)
+	if _, err := Run(in, Options{}); err == nil {
+		t.Fatal("nil batch scheduler: want error")
+	}
+}
+
+func TestSingleTransactionCoLocated(t *testing.T) {
+	g, _ := graph.Line(8)
+	in := &core.Instance{
+		G:       g,
+		Objects: []*core.Object{{ID: 0, Origin: 3}},
+		Txns:    []*core.Transaction{{ID: 0, Node: 3, Objects: []core.ObjID{0}}},
+	}
+	res := run(t, in, Options{Seed: 1})
+	if res.Err != nil {
+		t.Fatalf("violation: %v", res.Err)
+	}
+	// Discovery is local (home == node), but the report/reserve/notify
+	// round trips through the layer-0 cluster leader each cost up to the
+	// cluster diameter (< 8): a small-constant makespan, not instant.
+	if res.Makespan > 40 {
+		t.Errorf("makespan = %d, want bounded by protocol round trips", res.Makespan)
+	}
+	if res.Audit.Inserted != 1 {
+		t.Errorf("audit = %+v, want one insertion", res.Audit)
+	}
+}
+
+func TestChainOnLine(t *testing.T) {
+	g, _ := graph.Line(12)
+	in, err := workload.SingleObjectChain(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, in, Options{Seed: 2})
+	if res.Audit.Inserted != len(in.Txns) {
+		t.Errorf("inserted %d of %d", res.Audit.Inserted, len(in.Txns))
+	}
+	if res.Messages == 0 || res.MsgDistance == 0 {
+		t.Error("no protocol messages recorded")
+	}
+	// Objects at half speed, poly-log protocol overhead: makespan must
+	// still be within a sane envelope of the serial lower bound (~n).
+	if res.Makespan < 11 {
+		t.Errorf("makespan = %d, impossible below the serial bound", res.Makespan)
+	}
+}
+
+func TestTopologiesAndWorkloads(t *testing.T) {
+	tops := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(12) },
+		func() (*graph.Graph, error) { return graph.Cluster(graph.ClusterSpec{Alpha: 3, Beta: 4, Gamma: 5}) },
+		func() (*graph.Graph, error) { return graph.Star(graph.StarSpec{Rays: 3, RayLen: 4}) },
+		func() (*graph.Graph, error) { return graph.Grid(4, 4) },
+	}
+	for _, mk := range tops {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := workload.Generate(g, workload.Config{
+			K: 2, NumObjects: 6, Rounds: 2,
+			Arrival: workload.ArrivalPeriodic, Period: 50, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, in, Options{Seed: 4})
+		if res.Err != nil {
+			t.Errorf("%s: violation: %v", g, res.Err)
+		}
+	}
+}
+
+func TestParallelEngineMatchesSequential(t *testing.T) {
+	g, _ := graph.Grid(4, 4)
+	in, err := workload.Generate(g, workload.Config{
+		K: 2, NumObjects: 5, Rounds: 2,
+		Arrival: workload.ArrivalPeriodic, Period: 30, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := run(t, in, Options{Seed: 8, Parallel: false})
+	par := run(t, in, Options{Seed: 8, Parallel: true})
+	if seq.Makespan != par.Makespan {
+		t.Errorf("makespan differs: seq %d par %d", seq.Makespan, par.Makespan)
+	}
+	if seq.Messages != par.Messages || seq.MsgDistance != par.MsgDistance {
+		t.Errorf("message counters differ: seq %d/%d par %d/%d",
+			seq.Messages, seq.MsgDistance, par.Messages, par.MsgDistance)
+	}
+	for i := range seq.Latency {
+		if seq.Latency[i] != par.Latency[i] {
+			t.Fatalf("latency of tx %d differs: %d vs %d", i, seq.Latency[i], par.Latency[i])
+		}
+	}
+}
+
+func TestFullSpeedObjectsAlsoFeasible(t *testing.T) {
+	// F9 ablation: with SlowFactor 1 the protocol stays valid here because
+	// discovery uses a home directory rather than chasing (DESIGN.md §2).
+	g, _ := graph.Line(10)
+	in, err := workload.Generate(g, workload.Config{
+		K: 2, NumObjects: 5, Rounds: 2,
+		Arrival: workload.ArrivalPeriodic, Period: 40, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := run(t, in, Options{Seed: 5, SlowFactor: 2})
+	full := run(t, in, Options{Seed: 5, SlowFactor: 1})
+	if full.Err != nil || half.Err != nil {
+		t.Fatalf("violations: full=%v half=%v", full.Err, half.Err)
+	}
+	if full.Makespan > half.Makespan {
+		t.Errorf("full-speed makespan %d exceeds half-speed %d", full.Makespan, half.Makespan)
+	}
+}
+
+func TestContendedObjectsSerializedAcrossLeaders(t *testing.T) {
+	// Many nodes, one hot object, spread arrivals: multiple leaders must
+	// coordinate through the home reservations without conflicts.
+	g, _ := graph.Grid(5, 5)
+	in := &core.Instance{
+		G:       g,
+		Objects: []*core.Object{{ID: 0, Origin: 12}},
+	}
+	for i := 0; i < g.N(); i += 3 {
+		in.Txns = append(in.Txns, &core.Transaction{
+			ID:      core.TxID(len(in.Txns)),
+			Node:    graph.NodeID(i),
+			Arrival: core.Time(i),
+			Objects: []core.ObjID{0},
+		})
+	}
+	res := run(t, in, Options{Seed: 11})
+	if res.Err != nil {
+		t.Fatalf("violation: %v", res.Err)
+	}
+	if res.Audit.Activations == 0 {
+		t.Error("no activations recorded")
+	}
+}
+
+func TestRatiosComputed(t *testing.T) {
+	g, _ := graph.Line(10)
+	in, err := workload.Generate(g, workload.Config{
+		K: 1, NumObjects: 4, Rounds: 2,
+		Arrival: workload.ArrivalPeriodic, Period: 25, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, in, Options{Seed: 1})
+	if len(res.Ratios) == 0 {
+		t.Fatal("no competitive-ratio snapshots")
+	}
+	if res.MaxRatio <= 0 {
+		t.Errorf("max ratio = %v, want positive", res.MaxRatio)
+	}
+}

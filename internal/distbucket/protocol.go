@@ -1,0 +1,593 @@
+// Package distbucket implements Algorithm 3 of Busch et al. (IPPS 2020):
+// the distributed bucket schedule. All coordination happens through
+// messages over the communication graph (internal/distnet) while object
+// physics run in the core engine at half speed (the paper's device so that
+// full-speed control messages always outrun objects).
+//
+// Roles, all co-located on ordinary nodes:
+//
+//   - Home/directory: each object's creation node tracks its availability
+//     (node and time it becomes free after its last scheduled user) and the
+//     registered requesters. The IPPS paper carries this metadata on the
+//     object itself and tracks moving objects by chasing; a home-based
+//     directory is the standard DTM substitute (Arrow/Ballistic lineage,
+//     the paper's refs [17, 28]) and adds only O(D) additive latency —
+//     see DESIGN.md §2.
+//   - Transaction origin: discovers its objects' positions and the
+//     conflicting transactions through the homes, derives the radius y,
+//     picks the lowest cover layer whose home cluster contains its
+//     y-neighborhood, and reports to that cluster's leader (Algorithm 3,
+//     lines 2-6).
+//   - Leader: maintains partial buckets per level; on the globally aligned
+//     activation step of level i (every 2^i steps) it reserves the bucket's
+//     objects at their homes in ascending object order (deadlock-free
+//     ordered acquisition — the serialization the paper gets from Lemma 6's
+//     sub-layer disjointness), runs the offline batch algorithm A on the
+//     granted fresh availability, announces execution times to the
+//     transactions' nodes, and releases the homes with updated
+//     availability.
+package distbucket
+
+import (
+	"fmt"
+	"sort"
+
+	"dtm/internal/batch"
+	"dtm/internal/core"
+	"dtm/internal/cover"
+	"dtm/internal/distnet"
+	"dtm/internal/graph"
+)
+
+// Message payloads. All payloads are immutable after send.
+
+type arrivalMsg struct{ Tx core.TxID }
+
+type reqMsg struct {
+	Obj    core.ObjID
+	Tx     core.TxID
+	TxNode graph.NodeID
+}
+
+type txRef struct {
+	Tx   core.TxID
+	Node graph.NodeID
+}
+
+type infoMsg struct {
+	Obj       core.ObjID
+	Tx        core.TxID
+	Avail     batch.Avail
+	Conflicts []txRef
+}
+
+type objSnapshot struct {
+	Obj   core.ObjID
+	Avail batch.Avail
+}
+
+// clusterRef identifies a sparse-cover cluster; partial buckets are kept
+// per (cluster, level), as in the paper.
+type clusterRef struct {
+	Layer    int
+	SubLayer int
+	Index    int
+}
+
+type reportMsg struct {
+	Tx      core.TxID
+	Node    graph.NodeID
+	Cluster clusterRef
+	Objs    []objSnapshot
+}
+
+type reserveMsg struct {
+	Obj     core.ObjID
+	Session int64
+}
+
+type grantMsg struct {
+	Obj     core.ObjID
+	Session int64
+	Avail   batch.Avail
+}
+
+type releaseMsg struct {
+	Obj      core.ObjID
+	Session  int64
+	NewAvail batch.Avail
+}
+
+type decideMsg struct {
+	Tx   core.TxID
+	Exec core.Time
+}
+
+// decision is what the lockstep driver drains from node handlers.
+type decision struct {
+	tx   core.TxID
+	exec core.Time
+}
+
+// config is shared, read-only state for all node handlers.
+type config struct {
+	in       *core.Instance
+	g        *graph.Graph
+	hier     *cover.Hierarchy
+	batch    batch.Scheduler
+	slow     graph.Weight
+	maxLevel int
+}
+
+func (c *config) home(o core.ObjID) graph.NodeID { return c.in.Objects[o].Origin }
+
+// discovery tracks a transaction waiting for home replies.
+type discovery struct {
+	tx      *core.Transaction
+	waiting int
+	objs    []objSnapshot
+	refs    []txRef
+}
+
+// reservation serializes leaders' access to one object at its home.
+type reservation struct {
+	holderSession int64
+	holderNode    graph.NodeID
+	queue         []reserveReq
+}
+
+type reserveReq struct {
+	session int64
+	node    graph.NodeID
+}
+
+// pendTx is a transaction waiting in a partial bucket.
+type pendTx struct {
+	tx    *core.Transaction
+	objs  []objSnapshot
+	since core.Time
+	level int
+}
+
+// session is one in-flight bucket activation at a leader.
+type session struct {
+	id      int64
+	level   int
+	txs     []pendTx
+	objs    []core.ObjID
+	granted map[core.ObjID]batch.Avail
+	next    int
+}
+
+// Audit captures protocol statistics for the experiments. Each node
+// accumulates its own (handlers run concurrently); the driver merges them.
+type Audit struct {
+	Reports      int
+	Inserted     int
+	Overflowed   int
+	Activations  int
+	MaxLevelUsed int
+	LayerCounts  map[int]int // cover layer chosen per report
+}
+
+func (a *Audit) merge(b *Audit) {
+	a.Reports += b.Reports
+	a.Inserted += b.Inserted
+	a.Overflowed += b.Overflowed
+	a.Activations += b.Activations
+	if b.MaxLevelUsed > a.MaxLevelUsed {
+		a.MaxLevelUsed = b.MaxLevelUsed
+	}
+	for l, c := range b.LayerCounts {
+		a.LayerCounts[l] += c
+	}
+}
+
+// node is the per-node protocol handler.
+type node struct {
+	cfg *config
+	id  graph.NodeID
+
+	// home state
+	avail    map[core.ObjID]batch.Avail
+	reqs     map[core.ObjID][]txRef
+	reserved map[core.ObjID]*reservation
+
+	// origin state
+	discov map[core.TxID]*discovery
+
+	// leader state: partial buckets keyed per (cluster, level).
+	buckets   map[bucketKey][]pendTx
+	known     map[core.ObjID]batch.Avail // latest availability heard of
+	sess      *session
+	sessSeq   int64
+	due       []bucketKey // activation queue of partial buckets
+	decisions []decision
+	// reported records, per transaction handled by this node's discovery,
+	// which cluster it reported to (for the Lemma 6 audit).
+	reported map[core.TxID]clusterRef
+
+	audit *Audit
+}
+
+func newNode(cfg *config, id graph.NodeID) *node {
+	n := &node{
+		cfg:      cfg,
+		id:       id,
+		avail:    make(map[core.ObjID]batch.Avail),
+		reqs:     make(map[core.ObjID][]txRef),
+		reserved: make(map[core.ObjID]*reservation),
+		discov:   make(map[core.TxID]*discovery),
+		buckets:  make(map[bucketKey][]pendTx),
+		reported: make(map[core.TxID]clusterRef),
+		known:    make(map[core.ObjID]batch.Avail),
+		audit:    &Audit{LayerCounts: make(map[int]int)},
+	}
+	for _, o := range cfg.in.Objects {
+		if o.Origin == id {
+			n.avail[o.ID] = batch.Avail{Node: o.Origin, Free: o.Created}
+		}
+	}
+	return n
+}
+
+// HandleEvent implements distnet.Handler.
+func (n *node) HandleEvent(ctx *distnet.Ctx, ev distnet.Event) {
+	switch p := ev.Payload.(type) {
+	case arrivalMsg:
+		n.onArrival(ctx, p)
+	case reqMsg:
+		n.onReq(ctx, ev.From, p)
+	case infoMsg:
+		n.onInfo(ctx, p)
+	case reportMsg:
+		n.onReport(ctx, p)
+	case reserveMsg:
+		n.onReserve(ctx, ev.From, p)
+	case grantMsg:
+		n.onGrant(ctx, p)
+	case releaseMsg:
+		n.onRelease(ctx, p)
+	case decideMsg:
+		// Notification only: the transaction's node learns its execution
+		// time. The decision itself was recorded at the leader when the
+		// bucket activated (see finishSession).
+		_ = p
+	case nil:
+		if ev.Kind == distnet.KindWake {
+			n.onWake(ctx)
+		}
+	default:
+		panic(fmt.Sprintf("distbucket: node %d: unknown payload %T", n.id, ev.Payload))
+	}
+}
+
+// onArrival starts discovery for a locally generated transaction
+// (Algorithm 3, lines 2-3).
+func (n *node) onArrival(ctx *distnet.Ctx, m arrivalMsg) {
+	tx := n.cfg.in.Txns[m.Tx]
+	d := &discovery{tx: tx, waiting: len(tx.Objects)}
+	n.discov[m.Tx] = d
+	for _, o := range tx.Objects {
+		ctx.Send(n.cfg.home(o), reqMsg{Obj: o, Tx: m.Tx, TxNode: n.id})
+	}
+}
+
+// onReq serves a directory lookup: register the requester and reply with
+// availability plus the conflicting transactions known so far.
+func (n *node) onReq(ctx *distnet.Ctx, from graph.NodeID, m reqMsg) {
+	conflicts := append([]txRef(nil), n.reqs[m.Obj]...)
+	n.reqs[m.Obj] = append(n.reqs[m.Obj], txRef{Tx: m.Tx, Node: m.TxNode})
+	a, ok := n.avail[m.Obj]
+	if !ok {
+		obj := n.cfg.in.Objects[m.Obj]
+		a = batch.Avail{Node: obj.Origin, Free: obj.Created}
+	}
+	ctx.Send(from, infoMsg{Obj: m.Obj, Tx: m.Tx, Avail: a, Conflicts: conflicts})
+}
+
+// onInfo gathers home replies; when all arrive, derive y and report to the
+// proper cluster leader (Algorithm 3, lines 4-6).
+func (n *node) onInfo(ctx *distnet.Ctx, m infoMsg) {
+	d, ok := n.discov[m.Tx]
+	if !ok {
+		return
+	}
+	d.objs = append(d.objs, objSnapshot{Obj: m.Obj, Avail: m.Avail})
+	d.refs = append(d.refs, m.Conflicts...)
+	d.waiting--
+	if d.waiting > 0 {
+		return
+	}
+	delete(n.discov, m.Tx)
+	var y graph.Weight
+	for _, os := range d.objs {
+		if dd := ctx.Dist(n.id, os.Avail.Node); dd > y {
+			y = dd
+		}
+	}
+	for _, r := range d.refs {
+		if dd := ctx.Dist(n.id, r.Node); dd > y {
+			y = dd
+		}
+	}
+	layer, cl := n.cfg.hier.HomeForRadius(n.id, y)
+	n.audit.LayerCounts[layer]++
+	ref := clusterRef{Layer: cl.Layer, SubLayer: cl.SubLayer, Index: cl.Index}
+	n.reported[m.Tx] = ref
+	sort.Slice(d.objs, func(i, j int) bool { return d.objs[i].Obj < d.objs[j].Obj })
+	ctx.Send(cl.Leader, reportMsg{Tx: m.Tx, Node: n.id, Cluster: ref, Objs: d.objs})
+}
+
+// bucketKey identifies one partial bucket: a cluster and a level.
+type bucketKey struct {
+	cluster clusterRef
+	level   int
+}
+
+func bucketKeyLess(a, b bucketKey) bool {
+	if a.level != b.level {
+		return a.level < b.level
+	}
+	if a.cluster.Layer != b.cluster.Layer {
+		return a.cluster.Layer < b.cluster.Layer
+	}
+	if a.cluster.SubLayer != b.cluster.SubLayer {
+		return a.cluster.SubLayer < b.cluster.SubLayer
+	}
+	return a.cluster.Index < b.cluster.Index
+}
+
+// onReport places the transaction in the smallest-level partial bucket
+// whose batch cost stays within 2^i, then arms the activation timer.
+func (n *node) onReport(ctx *distnet.Ctx, m reportMsg) {
+	n.audit.Reports++
+	for _, os := range m.Objs {
+		n.learn(os)
+	}
+	tx := n.cfg.in.Txns[m.Tx]
+	placed := -1
+	for i := 0; i <= n.cfg.maxLevel; i++ {
+		key := bucketKey{cluster: m.Cluster, level: i}
+		cand := make([]*core.Transaction, 0, len(n.buckets[key])+1)
+		for _, pd := range n.buckets[key] {
+			cand = append(cand, pd.tx)
+		}
+		cand = append(cand, tx)
+		cost, err := batch.Cost(n.cfg.batch, n.problem(cand, ctx.Now(), nil))
+		if err != nil {
+			panic(fmt.Sprintf("distbucket: cost probe: %v", err))
+		}
+		if cost <= 1<<uint(i) {
+			placed = i
+			break
+		}
+	}
+	if placed < 0 {
+		placed = n.cfg.maxLevel
+		n.audit.Overflowed++
+	}
+	key := bucketKey{cluster: m.Cluster, level: placed}
+	n.buckets[key] = append(n.buckets[key], pendTx{
+		tx: tx, objs: m.Objs, since: ctx.Now(), level: placed,
+	})
+	n.audit.Inserted++
+	if placed > n.audit.MaxLevelUsed {
+		n.audit.MaxLevelUsed = placed
+	}
+	ctx.WakeAt(nextBoundary(ctx.Now(), placed))
+}
+
+func nextBoundary(now core.Time, level int) core.Time {
+	period := core.Time(1) << uint(level)
+	return (now + period - 1) / period * period
+}
+
+// learn merges an availability observation (latest Free wins).
+func (n *node) learn(os objSnapshot) {
+	if cur, ok := n.known[os.Obj]; !ok || os.Avail.Free > cur.Free {
+		n.known[os.Obj] = os.Avail
+	}
+}
+
+// problem assembles a batch problem from the leader's availability
+// knowledge; the granted map (if non-nil) takes precedence.
+func (n *node) problem(txns []*core.Transaction, now core.Time, granted map[core.ObjID]batch.Avail) *batch.Problem {
+	avail := make(map[core.ObjID]batch.Avail)
+	for _, tx := range txns {
+		for _, o := range tx.Objects {
+			if a, ok := granted[o]; ok {
+				avail[o] = a
+				continue
+			}
+			if a, ok := n.known[o]; ok {
+				avail[o] = a
+				continue
+			}
+			obj := n.cfg.in.Objects[o]
+			avail[o] = batch.Avail{Node: obj.Origin, Free: obj.Created}
+		}
+	}
+	return &batch.Problem{G: n.cfg.g, Now: now, Txns: txns, Avail: avail, Slow: n.cfg.slow}
+}
+
+// onWake queues every due, non-empty level and starts a session if idle.
+// Lower levels first (Section IV-B: lower buckets scheduled before higher
+// ones at coinciding activations).
+func (n *node) onWake(ctx *distnet.Ctx) {
+	now := ctx.Now()
+	for key, pds := range n.buckets {
+		if len(pds) == 0 {
+			continue
+		}
+		period := core.Time(1) << uint(key.level)
+		if now%period != 0 {
+			continue
+		}
+		if !containsKey(n.due, key) {
+			n.due = append(n.due, key)
+		}
+	}
+	n.maybeStartSession(ctx)
+}
+
+func containsKey(xs []bucketKey, v bucketKey) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *node) maybeStartSession(ctx *distnet.Ctx) {
+	if n.sess != nil || len(n.due) == 0 {
+		return
+	}
+	sort.Slice(n.due, func(i, j int) bool { return bucketKeyLess(n.due[i], n.due[j]) })
+	key := n.due[0]
+	n.due = n.due[1:]
+	txs := n.buckets[key]
+	if len(txs) == 0 {
+		n.maybeStartSession(ctx)
+		return
+	}
+	delete(n.buckets, key)
+	n.audit.Activations++
+	n.sessSeq++
+	s := &session{
+		id:      int64(n.id)<<32 | n.sessSeq,
+		level:   key.level,
+		txs:     txs,
+		granted: make(map[core.ObjID]batch.Avail),
+	}
+	objSet := make(map[core.ObjID]bool)
+	for _, pd := range txs {
+		for _, o := range pd.tx.Objects {
+			objSet[o] = true
+		}
+	}
+	for o := range objSet {
+		s.objs = append(s.objs, o)
+	}
+	sort.Slice(s.objs, func(i, j int) bool { return s.objs[i] < s.objs[j] })
+	n.sess = s
+	// Ordered acquisition, one object at a time: deadlock-free.
+	ctx.Send(n.cfg.home(s.objs[0]), reserveMsg{Obj: s.objs[0], Session: s.id})
+}
+
+// onReserve serializes leaders at the object's home.
+func (n *node) onReserve(ctx *distnet.Ctx, from graph.NodeID, m reserveMsg) {
+	r := n.reserved[m.Obj]
+	if r == nil {
+		r = &reservation{}
+		n.reserved[m.Obj] = r
+	}
+	if r.holderSession == 0 {
+		r.holderSession = m.Session
+		r.holderNode = from
+		a, ok := n.avail[m.Obj]
+		if !ok {
+			obj := n.cfg.in.Objects[m.Obj]
+			a = batch.Avail{Node: obj.Origin, Free: obj.Created}
+		}
+		ctx.Send(from, grantMsg{Obj: m.Obj, Session: m.Session, Avail: a})
+		return
+	}
+	r.queue = append(r.queue, reserveReq{session: m.Session, node: from})
+}
+
+// onGrant advances the session's acquisition; when complete, schedule.
+func (n *node) onGrant(ctx *distnet.Ctx, m grantMsg) {
+	s := n.sess
+	if s == nil || s.id != m.Session {
+		// A grant for a session we no longer run would leak the home's
+		// reservation: that is a protocol bug, not a tolerable race.
+		panic(fmt.Sprintf("distbucket: node %d: grant for unknown session %d", n.id, m.Session))
+	}
+	s.granted[m.Obj] = m.Avail
+	s.next++
+	if s.next < len(s.objs) {
+		o := s.objs[s.next]
+		ctx.Send(n.cfg.home(o), reserveMsg{Obj: o, Session: s.id})
+		return
+	}
+	n.finishSession(ctx)
+}
+
+// finishSession runs A on fresh availability, announces execution times,
+// and releases the homes with updated availability.
+func (n *node) finishSession(ctx *distnet.Ctx) {
+	s := n.sess
+	now := ctx.Now()
+	// Execution times must not precede the moment the transaction's node
+	// learns them.
+	var notify graph.Weight
+	txns := make([]*core.Transaction, len(s.txs))
+	for i, pd := range s.txs {
+		txns[i] = pd.tx
+		if d := ctx.Dist(n.id, pd.tx.Node); d > notify {
+			notify = d
+		}
+	}
+	p := n.problem(txns, now+core.Time(notify), s.granted)
+	asgn, err := n.cfg.batch.Schedule(p)
+	if err != nil {
+		panic(fmt.Sprintf("distbucket: batch schedule: %v", err))
+	}
+	for _, pd := range s.txs {
+		// Algorithm 3 line 7: when the bucket activates, the *objects* are
+		// informed of the schedule — object itineraries take effect at the
+		// leader's announce time. Recording the decision here (rather than
+		// at decideMsg delivery) keeps itinerary updates in the same order
+		// the home reservations serialized the sessions; applying them at
+		// delivery time can send an object toward a later user before an
+		// earlier user's announcement lands, a detour the availability
+		// floors do not cover. The decideMsg below still notifies the
+		// transaction's node (its execution time already budgets that
+		// trip via the notify slack).
+		n.decisions = append(n.decisions, decision{tx: pd.tx.ID, exec: asgn[pd.tx.ID]})
+		ctx.Send(pd.tx.Node, decideMsg{Tx: pd.tx.ID, Exec: asgn[pd.tx.ID]})
+	}
+	// New availability per object: its last user in this schedule.
+	for _, o := range s.objs {
+		last := s.granted[o]
+		for _, pd := range s.txs {
+			for _, oo := range pd.tx.Objects {
+				if oo == o && asgn[pd.tx.ID] >= last.Free {
+					last = batch.Avail{Node: pd.tx.Node, Free: asgn[pd.tx.ID]}
+				}
+			}
+		}
+		n.known[o] = last
+		ctx.Send(n.cfg.home(o), releaseMsg{Obj: o, Session: s.id, NewAvail: last})
+	}
+	n.sess = nil
+	// Re-arm timers for anything still waiting, then start the next due
+	// session, if any.
+	for key, pds := range n.buckets {
+		if len(pds) > 0 {
+			ctx.WakeAt(nextBoundary(now+1, key.level))
+		}
+	}
+	n.maybeStartSession(ctx)
+}
+
+// onRelease updates the home's availability and grants the next waiting
+// leader, if any.
+func (n *node) onRelease(ctx *distnet.Ctx, m releaseMsg) {
+	r := n.reserved[m.Obj]
+	if r == nil || r.holderSession != m.Session {
+		return
+	}
+	n.avail[m.Obj] = m.NewAvail
+	if len(r.queue) == 0 {
+		delete(n.reserved, m.Obj)
+		return
+	}
+	next := r.queue[0]
+	r.queue = r.queue[1:]
+	r.holderSession = next.session
+	r.holderNode = next.node
+	ctx.Send(next.node, grantMsg{Obj: m.Obj, Session: next.session, Avail: m.NewAvail})
+}

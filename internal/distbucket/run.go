@@ -1,0 +1,205 @@
+package distbucket
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dtm/internal/batch"
+	"dtm/internal/core"
+	"dtm/internal/cover"
+	"dtm/internal/distnet"
+	"dtm/internal/graph"
+	"dtm/internal/sched"
+)
+
+// Options configure a distributed bucket run.
+type Options struct {
+	// Batch is the offline algorithm A to convert. Required.
+	Batch batch.Scheduler
+	// Seed drives the randomized sparse cover construction.
+	Seed int64
+	// SlowFactor is the object slow-down of Section V; 0 means the paper's
+	// value 2 (control messages at full speed, objects at half).
+	SlowFactor int
+	// Parallel runs the network engine with goroutine-per-node steps.
+	Parallel bool
+	// MaxLevel caps bucket levels; 0 means the Lemma 3 bound.
+	MaxLevel int
+	// SnapshotEvery takes a competitive-ratio snapshot at every k-th
+	// distinct arrival time (0 or 1 = every one; <0 disables).
+	SnapshotEvery int
+}
+
+// Result bundles the run metrics with protocol statistics.
+type Result struct {
+	*sched.RunResult
+	Audit       Audit
+	Messages    int
+	MsgDistance graph.Weight
+	CoverLayers int
+	SubLayers   int
+	// Lemma 6 audit: pairs of concurrently-live conflicting transactions
+	// that reported into the same sub-layer, and how many of those landed
+	// in different clusters (the paper proves zero under chase-based
+	// discovery; the home-directory substitution can miss concurrent
+	// discoveries, which is why safety here rests on home reservations
+	// instead — see the package comment).
+	Lemma6Pairs      int
+	Lemma6Violations int
+}
+
+// Run executes Algorithm 3 on the instance: the network protocol computes
+// every scheduling decision with real message latencies while the core
+// engine enforces object physics at the configured slow factor, in
+// lockstep.
+func Run(in *core.Instance, opts Options) (*Result, error) {
+	if opts.Batch == nil {
+		return nil, fmt.Errorf("distbucket: no batch scheduler configured")
+	}
+	slow := opts.SlowFactor
+	if slow == 0 {
+		slow = 2
+	}
+	hier, err := cover.Build(in.G, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := core.NewSim(in, core.SimOptions{SlowFactor: slow})
+	if err != nil {
+		return nil, err
+	}
+	maxLevel := opts.MaxLevel
+	if maxLevel <= 0 {
+		nd := uint64(in.G.N()) * uint64(in.G.Diameter()) * uint64(slow)
+		if nd < 2 {
+			nd = 2
+		}
+		maxLevel = bits.Len64(nd-1) + 1
+	}
+	cfg := &config{
+		in:       in,
+		g:        in.G,
+		hier:     hier,
+		batch:    opts.Batch,
+		slow:     graph.Weight(slow),
+		maxLevel: maxLevel,
+	}
+	nodes := make([]*node, in.G.N())
+	handlers := make([]distnet.Handler, in.G.N())
+	for i := range nodes {
+		nodes[i] = newNode(cfg, graph.NodeID(i))
+		handlers[i] = nodes[i]
+	}
+	net, err := distnet.New(in.G, handlers, distnet.Options{Parallel: opts.Parallel})
+	if err != nil {
+		return nil, err
+	}
+
+	arrivals := in.ArrivalTimes()
+	snapEvery := opts.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = 1
+	}
+	var snaps []sched.Snapshot
+	ai := 0
+	for !sim.AllExecuted() {
+		// Next event across the three clocks.
+		t := core.Time(-1)
+		take := func(x core.Time) {
+			if t < 0 || x < t {
+				t = x
+			}
+		}
+		if ai < len(arrivals) {
+			take(arrivals[ai])
+		}
+		if nt, ok := net.NextEvent(); ok {
+			take(nt)
+		}
+		if st, ok := sim.NextInternalEvent(); ok {
+			take(st)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("distbucket: protocol stalled at t=%d with unexecuted transactions", sim.Now())
+		}
+		if err := sim.AdvanceTo(t); err != nil {
+			return nil, err
+		}
+		if ai < len(arrivals) && arrivals[ai] == t {
+			if snapEvery > 0 && ai%snapEvery == 0 {
+				snaps = append(snaps, sched.TakeSnapshot(sim, t))
+			}
+			for _, tx := range in.TxnsArriving(t) {
+				if err := net.InjectAt(t, tx.Node, arrivalMsg{Tx: tx.ID}); err != nil {
+					return nil, err
+				}
+			}
+			ai++
+		}
+		if err := net.RunUntil(t); err != nil {
+			return nil, err
+		}
+		// Apply freshly announced decisions to the physics.
+		for _, nd := range nodes {
+			for _, d := range nd.decisions {
+				if err := sim.Decide(d.tx, d.exec); err != nil {
+					return nil, fmt.Errorf("distbucket: applying decision for tx %d: %w", d.tx, err)
+				}
+			}
+			nd.decisions = nd.decisions[:0]
+		}
+	}
+	res := &Result{
+		RunResult:   sched.BuildResult(sim, fmt.Sprintf("distbucket(%s)", opts.Batch.Name()), snaps),
+		Audit:       Audit{LayerCounts: make(map[int]int)},
+		Messages:    net.MessagesSent(),
+		MsgDistance: net.MessageDistance(),
+		CoverLayers: hier.NumLayers(),
+		SubLayers:   hier.MaxSubLayers(),
+	}
+	for _, nd := range nodes {
+		res.Audit.merge(nd.audit)
+	}
+	res.Lemma6Pairs, res.Lemma6Violations = lemma6Audit(in, sim, nodes)
+	return res, nil
+}
+
+// lemma6Audit counts concurrently-live conflicting transaction pairs that
+// chose the same sub-layer, and how many of those chose different clusters.
+func lemma6Audit(in *core.Instance, sim *core.Sim, nodes []*node) (pairs, violations int) {
+	refs := make(map[core.TxID]clusterRef)
+	for _, nd := range nodes {
+		for tx, ref := range nd.reported {
+			refs[tx] = ref
+		}
+	}
+	type span struct{ a, b core.Time }
+	live := func(tx *core.Transaction) span {
+		e, _ := sim.Executed(tx.ID)
+		return span{a: tx.Arrival, b: e}
+	}
+	for i := 0; i < len(in.Txns); i++ {
+		ri, ok := refs[in.Txns[i].ID]
+		if !ok {
+			continue
+		}
+		si := live(in.Txns[i])
+		for j := i + 1; j < len(in.Txns); j++ {
+			rj, ok := refs[in.Txns[j].ID]
+			if !ok || !in.Txns[i].Conflicts(in.Txns[j]) {
+				continue
+			}
+			sj := live(in.Txns[j])
+			if si.b < sj.a || sj.b < si.a {
+				continue // never live together
+			}
+			if ri.Layer == rj.Layer && ri.SubLayer == rj.SubLayer {
+				pairs++
+				if ri.Index != rj.Index {
+					violations++
+				}
+			}
+		}
+	}
+	return pairs, violations
+}

@@ -1,0 +1,296 @@
+// Package distnet is a synchronous message-passing runtime for the
+// decentralized schedulers of Section V of Busch et al. (IPPS 2020): every
+// node of the communication graph runs a deterministic event handler;
+// messages between nodes are delivered after exactly their shortest-path
+// distance in time steps (the paper's synchronous model, Section II).
+//
+// Two execution engines share one semantics:
+//
+//   - the sequential reference engine processes each step's nodes in ID
+//     order on one goroutine;
+//   - the parallel engine runs each step's active nodes as concurrent
+//     goroutines (one per node with pending events), then merges their
+//     outboxes in deterministic node order behind a barrier.
+//
+// Handlers own their node's state exclusively and receive a per-invocation
+// Ctx, so the two engines produce byte-identical traces; the test suite
+// asserts this equivalence.
+package distnet
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+)
+
+// EventKind discriminates handler events.
+type EventKind int
+
+const (
+	// KindMessage delivers a payload sent by another node.
+	KindMessage EventKind = iota
+	// KindWake fires a timer previously set with Ctx.WakeAt.
+	KindWake
+	// KindInject delivers an external input (e.g. a transaction arrival)
+	// placed with Engine.InjectAt.
+	KindInject
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case KindMessage:
+		return "msg"
+	case KindWake:
+		return "wake"
+	case KindInject:
+		return "inject"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is what a handler receives.
+type Event struct {
+	Kind    EventKind
+	From    graph.NodeID // sender, for KindMessage
+	Payload interface{}  // treat as immutable: it may be shared across nodes
+}
+
+// Handler is a node's protocol logic. HandleEvent must be deterministic and
+// must touch only this node's state; cross-node interaction goes through
+// Ctx.Send.
+type Handler interface {
+	HandleEvent(ctx *Ctx, ev Event)
+}
+
+// Ctx is the per-invocation capability a handler uses to act on the world.
+type Ctx struct {
+	g    *graph.Graph
+	node graph.NodeID
+	now  core.Time
+	out  []queuedEvent
+	msgs int
+	dist graph.Weight
+}
+
+// Node returns the executing node.
+func (c *Ctx) Node() graph.NodeID { return c.node }
+
+// Now returns the current time step.
+func (c *Ctx) Now() core.Time { return c.now }
+
+// Graph returns the communication graph (read-only use).
+func (c *Ctx) Graph() *graph.Graph { return c.g }
+
+// Dist is shorthand for shortest-path distance queries.
+func (c *Ctx) Dist(u, v graph.NodeID) graph.Weight { return c.g.Dist(u, v) }
+
+// Send transmits a payload to another node; it arrives Dist(from, to) steps
+// from now (same step for the node itself, processed in a later pass).
+func (c *Ctx) Send(to graph.NodeID, payload interface{}) {
+	d := c.g.Dist(c.node, to)
+	c.out = append(c.out, queuedEvent{
+		at:   c.now + core.Time(d),
+		node: to,
+		ev:   Event{Kind: KindMessage, From: c.node, Payload: payload},
+	})
+	c.msgs++
+	c.dist += d
+}
+
+// WakeAt schedules a KindWake event for this node at time t >= now.
+func (c *Ctx) WakeAt(t core.Time) {
+	if t < c.now {
+		t = c.now
+	}
+	c.out = append(c.out, queuedEvent{
+		at:   t,
+		node: c.node,
+		ev:   Event{Kind: KindWake},
+	})
+}
+
+type queuedEvent struct {
+	at   core.Time
+	node graph.NodeID
+	seq  int
+	ev   Event
+}
+
+type eventQueue []queuedEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].node != q[j].node {
+		return q[i].node < q[j].node
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(queuedEvent)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Parallel runs each step's active nodes as concurrent goroutines.
+	Parallel bool
+}
+
+// Engine drives the handlers through synchronous time.
+type Engine struct {
+	g        *graph.Graph
+	handlers []Handler
+	opts     Options
+
+	now   core.Time
+	queue eventQueue
+	seq   int
+
+	msgsSent    int
+	msgDistance graph.Weight
+}
+
+// New builds an engine over g with one handler per node.
+func New(g *graph.Graph, handlers []Handler, opts Options) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("distnet: nil graph")
+	}
+	if len(handlers) != g.N() {
+		return nil, fmt.Errorf("distnet: %d handlers for %d nodes", len(handlers), g.N())
+	}
+	for i, h := range handlers {
+		if h == nil {
+			return nil, fmt.Errorf("distnet: nil handler for node %d", i)
+		}
+	}
+	return &Engine{g: g, handlers: handlers, opts: opts}, nil
+}
+
+// Now returns the engine clock.
+func (e *Engine) Now() core.Time { return e.now }
+
+// MessagesSent returns the total number of messages sent so far.
+func (e *Engine) MessagesSent() int { return e.msgsSent }
+
+// MessageDistance returns the total distance covered by all messages — the
+// protocol's communication cost.
+func (e *Engine) MessageDistance() graph.Weight { return e.msgDistance }
+
+// InjectAt places an external event for node at time t (>= now).
+func (e *Engine) InjectAt(t core.Time, node graph.NodeID, payload interface{}) error {
+	if t < e.now {
+		return fmt.Errorf("distnet: inject at t=%d before now t=%d", t, e.now)
+	}
+	if node < 0 || int(node) >= e.g.N() {
+		return fmt.Errorf("distnet: inject to unknown node %d", node)
+	}
+	e.push(queuedEvent{at: t, node: node, ev: Event{Kind: KindInject, Payload: payload}})
+	return nil
+}
+
+func (e *Engine) push(qe queuedEvent) {
+	qe.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, qe)
+}
+
+// NextEvent reports the earliest pending event time.
+func (e *Engine) NextEvent() (core.Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// RunUntil processes every event with time <= t and advances the clock to t.
+func (e *Engine) RunUntil(t core.Time) error {
+	if t < e.now {
+		return fmt.Errorf("distnet: cannot rewind from t=%d to t=%d", e.now, t)
+	}
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		at := e.queue[0].at
+		e.now = at
+		// Same-time self-sends and wakes spawn additional passes within
+		// the step; bound them to catch ping-pong bugs.
+		for pass := 0; len(e.queue) > 0 && e.queue[0].at == at; pass++ {
+			if pass > 10000 {
+				return fmt.Errorf("distnet: livelock at t=%d: handlers keep generating same-step events", at)
+			}
+			if err := e.stepOnce(at); err != nil {
+				return err
+			}
+		}
+	}
+	e.now = t
+	return nil
+}
+
+// stepOnce pops one batch of events at time `at`, groups them per node, and
+// invokes handlers — sequentially or as parallel goroutines — then merges
+// the outboxes deterministically.
+func (e *Engine) stepOnce(at core.Time) error {
+	type nodeBatch struct {
+		node graph.NodeID
+		evs  []Event
+	}
+	var batches []nodeBatch
+	index := make(map[graph.NodeID]int)
+	for len(e.queue) > 0 && e.queue[0].at == at {
+		qe := heap.Pop(&e.queue).(queuedEvent)
+		i, ok := index[qe.node]
+		if !ok {
+			i = len(batches)
+			index[qe.node] = i
+			batches = append(batches, nodeBatch{node: qe.node})
+		}
+		batches[i].evs = append(batches[i].evs, qe.ev)
+	}
+	// The heap pops in (node, seq) order at equal times, so batches are
+	// already sorted by node and events per node by seq.
+	ctxs := make([]*Ctx, len(batches))
+	run := func(i int) {
+		b := batches[i]
+		ctx := &Ctx{g: e.g, node: b.node, now: at}
+		for _, ev := range b.evs {
+			e.handlers[b.node].HandleEvent(ctx, ev)
+		}
+		ctxs[i] = ctx
+	}
+	if e.opts.Parallel && len(batches) > 1 {
+		var wg sync.WaitGroup
+		for i := range batches {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range batches {
+			run(i)
+		}
+	}
+	// Deterministic merge: outboxes in node order, preserving each node's
+	// send order.
+	for _, ctx := range ctxs {
+		e.msgsSent += ctx.msgs
+		e.msgDistance += ctx.dist
+		for _, qe := range ctx.out {
+			e.push(qe)
+		}
+	}
+	return nil
+}

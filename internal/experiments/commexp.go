@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/sched"
+	"dtm/internal/stats"
+	"dtm/internal/workload"
+)
+
+// figure11TimeVsComm charts the execution-time / communication-cost tension
+// that the paper's companion work (Busch et al., Distributed Computing
+// 2018, its ref [5]) proves is unavoidable: schedulers tuned for execution
+// time move objects more. We report both metrics for the three scheduler
+// families on a grid.
+func figure11TimeVsComm(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("Figure 11 — execution time vs communication cost (ref [5]'s tension)",
+		"scheduler", "max ratio", "mean ratio", "makespan", "total comm", "comm / makespan")
+	n := 6
+	if cfg.Quick {
+		n = 4
+	}
+	g, err := graph.Grid(n, n)
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		name string
+		mk   func() sched.Scheduler
+	}
+	entries := []entry{
+		{"greedy (time-focused)", newGreedy},
+		{"bucket(list)", func() sched.Scheduler { return newBucketList() }},
+		{"bucket(tour) (TSP baseline, ref [30])", newBucketTour},
+	}
+	for _, e := range entries {
+		var maxR, meanR, mkspan, comm float64
+		trials := cfg.trials()
+		for tr := 0; tr < trials; tr++ {
+			in, err := workload.Generate(g, workload.Config{
+				K: 2, NumObjects: g.N() / 2, Rounds: 3,
+				Arrival: workload.ArrivalPeriodic, Period: core.Time(g.Diameter()),
+				Seed: cfg.Seed + int64(tr)*7,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rr, err := sched.Run(in, e.mk(), sched.Options{})
+			if err != nil {
+				return nil, err
+			}
+			maxR += rr.MaxRatio
+			meanR += rr.MeanRatio()
+			mkspan += float64(rr.Makespan)
+			comm += float64(rr.TotalComm)
+		}
+		f := float64(trials)
+		t.AddRow(e.name, f2(maxR/f), f2(meanR/f), f1(mkspan/f), f1(comm/f),
+			fmt.Sprintf("%.2f", comm/mkspan))
+	}
+	return t, nil
+}

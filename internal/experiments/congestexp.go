@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/sched"
+	"dtm/internal/stats"
+	"dtm/internal/workload"
+)
+
+// figure12Congestion implements the paper's concluding open problem: "it
+// would be interesting to examine the impact of congestion, and the case
+// where network links may also have bounded capacity". The scheduler plans
+// capacity-obliviously (the paper's model); we then replay its decision log
+// on a network whose links carry at most C objects at once, with elastic
+// commits, and chart the makespan inflation as C tightens.
+func figure12Congestion(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("Figure 12 — bounded link capacity (paper's open problem)",
+		"graph", "workload", "capacity", "makespan", "inflation", "max latency")
+	n := 6
+	if cfg.Quick {
+		n = 4
+	}
+	g, err := graph.Grid(n, n)
+	if err != nil {
+		return nil, err
+	}
+	workloads := []struct {
+		name string
+		pop  workload.Popularity
+	}{
+		{"uniform", workload.PopUniform},
+		{"hotspot", workload.PopHotspot},
+	}
+	if cfg.Quick {
+		workloads = workloads[:1]
+	}
+	for _, wl := range workloads {
+		in, err := workload.Generate(g, workload.Config{
+			K: 2, NumObjects: g.N() / 2, Rounds: 3,
+			Arrival: workload.ArrivalPeriodic, Period: core.Time(g.Diameter()),
+			Pop: wl.pop, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Plan capacity-obliviously.
+		rr, err := sched.Run(in, newGreedy(), sched.Options{SnapshotEvery: -1})
+		if err != nil {
+			return nil, err
+		}
+		base := core.Time(0)
+		for _, capacity := range []int{0, 4, 2, 1} {
+			res, err := core.Replay(in, rr.Decisions, core.SimOptions{
+				LinkCapacity: capacity,
+				ElasticExec:  true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("F12: capacity %d: %w", capacity, err)
+			}
+			if capacity == 0 {
+				base = res.Makespan
+			}
+			label := fmt.Sprint(capacity)
+			if capacity == 0 {
+				label = "unbounded (paper)"
+			}
+			t.AddRow(g.Name(), wl.name, label, fmt.Sprint(res.Makespan),
+				f2(float64(res.Makespan)/float64(base)), fmt.Sprint(res.MaxLat))
+		}
+	}
+	return t, nil
+}

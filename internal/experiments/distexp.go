@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dtm/internal/batch"
+	"dtm/internal/core"
+	"dtm/internal/distbucket"
+	"dtm/internal/graph"
+	"dtm/internal/greedy"
+	"dtm/internal/sched"
+	"dtm/internal/stats"
+	"dtm/internal/workload"
+)
+
+// table4Distributed compares the centralized bucket schedule (Algorithm 2,
+// zero-latency oracle) with the fully distributed protocol (Algorithm 3):
+// Theorem 5 predicts decentralization costs an extra poly-log factor.
+func table4Distributed(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("Table 4 — distributed (Alg 3) vs centralized (Alg 2) bucket",
+		"graph", "central max", "distrib max", "overhead", "central mkspan", "distrib mkspan", "messages", "cover layers", "sub-layers")
+	graphs := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(32) },
+		func() (*graph.Graph, error) { return graph.Cluster(graph.ClusterSpec{Alpha: 4, Beta: 4, Gamma: 4}) },
+		func() (*graph.Graph, error) { return graph.Star(graph.StarSpec{Rays: 4, RayLen: 6}) },
+	}
+	if cfg.Quick {
+		graphs = graphs[:1]
+	}
+	for _, mk := range graphs {
+		g, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		in, err := workload.Generate(g, workload.Config{
+			K: 2, NumObjects: g.N() / 2, Rounds: 2,
+			Arrival: workload.ArrivalPeriodic, Period: core.Time(g.Diameter()) * 4,
+			Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Run the centralized bucket with the same half-speed objects so
+		// the comparison isolates the coordination overhead.
+		central, err := sched.Run(in, newBucketTourSlow(2), sched.Options{Sim: core.SimOptions{SlowFactor: 2}})
+		if err != nil {
+			return nil, err
+		}
+		dist, err := distbucket.Run(in, distbucket.Options{Batch: batch.Tour{}, Seed: cfg.Seed, Parallel: true})
+		if err != nil {
+			return nil, err
+		}
+		overhead := dist.MaxRatio / central.MaxRatio
+		t.AddRow(g.Name(), f2(central.MaxRatio), f2(dist.MaxRatio), f2(overhead),
+			fmt.Sprint(central.Makespan), fmt.Sprint(dist.Makespan),
+			fmt.Sprint(dist.Messages), fmt.Sprint(dist.CoverLayers), fmt.Sprint(dist.SubLayers))
+	}
+	return t, nil
+}
+
+// table5Coordinator measures the Section III-E funnel: the same greedy
+// schedule with all knowledge routed through a hub node, predicted to cost
+// a diameter-proportional factor.
+func table5Coordinator(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("Table 5 — hub coordinator overhead (Section III-E: O(diameter) factor)",
+		"graph", "D", "oracle max lat", "coord max lat", "lat overhead", "oracle max ratio", "coord max ratio")
+	graphs := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Clique(32) },
+		func() (*graph.Graph, error) { return graph.Hypercube(5) },
+		func() (*graph.Graph, error) { return graph.Butterfly(3) },
+	}
+	if cfg.Quick {
+		graphs = graphs[:1]
+	}
+	for _, mk := range graphs {
+		g, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		mo, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
+			in, err := genUniform(g, 3, g.N(), 3, core.Time(g.Diameter())*2, seed)
+			return in, newGreedy(), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		mc, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
+			in, err := genUniform(g, 3, g.N(), 3, core.Time(g.Diameter())*2, seed)
+			return in, greedy.NewCoordinator(0, greedy.Options{}), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(g.Name(), fmt.Sprint(g.Diameter()), f1(mo.maxLat), f1(mc.maxLat),
+			f2(mc.maxLat/mo.maxLat), f2(mo.maxRatio), f2(mc.maxRatio))
+	}
+	return t, nil
+}
+
+// figure9HalfSpeed ablates the Section V half-speed device: both speeds
+// stay feasible under the home directory, and halving costs at most ~2x.
+func figure9HalfSpeed(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("Figure 9 — object speed ablation (Section V: objects at half speed)",
+		"speed", "makespan", "max ratio", "mean ratio", "messages")
+	n := 6
+	if cfg.Quick {
+		n = 4
+	}
+	g, err := graph.Grid(n, n)
+	if err != nil {
+		return nil, err
+	}
+	in, err := workload.Generate(g, workload.Config{
+		K: 2, NumObjects: g.N() / 2, Rounds: 2,
+		Arrival: workload.ArrivalPeriodic, Period: core.Time(g.Diameter()) * 4,
+		Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var mkHalf, mkFull core.Time
+	for _, slow := range []int{1, 2} {
+		res, err := distbucket.Run(in, distbucket.Options{
+			Batch: batch.Tour{}, Seed: cfg.Seed, SlowFactor: slow, Parallel: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := "full (1x)"
+		if slow == 2 {
+			label = "half (paper, 2x per edge)"
+			mkHalf = res.Makespan
+		} else {
+			mkFull = res.Makespan
+		}
+		t.AddRow(label, fmt.Sprint(res.Makespan), f2(res.MaxRatio), f2(res.MeanRatio()),
+			fmt.Sprint(res.Messages))
+	}
+	if mkHalf < mkFull {
+		return nil, fmt.Errorf("F9: half-speed makespan %d below full-speed %d", mkHalf, mkFull)
+	}
+	return t, nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func fmtSscan(s string, x *float64) (int, error) { return fmt.Sscan(s, x) }
+
+// Every experiment must run clean in Quick mode and produce a non-trivial
+// table; experiments with built-in invariants (T2, T3, F9) error out on
+// violation, so a green run is itself a claim check.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	seen := map[string]bool{}
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if seen[e.ID] {
+				t.Fatalf("duplicate experiment ID %s", e.ID)
+			}
+			seen[e.ID] = true
+			if e.Claim == "" || e.Title == "" {
+				t.Fatal("experiment missing title or claim")
+			}
+			tb, err := e.Run(Config{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			var b strings.Builder
+			if err := tb.Render(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(b.String(), "==") {
+				t.Errorf("%s: table missing title", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("F1"); !ok {
+		t.Error("F1 should exist")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID should not resolve")
+	}
+}
+
+// The clique k sweep is the paper's headline O(k) claim: check the shape —
+// normalized ratio (max ratio / k) must not grow with k.
+func TestCliqueKShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	tb, err := figure1CliqueK(Config{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := parseF(t, tb.Rows[0][3])
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][3])
+	if last > first*3 {
+		t.Errorf("normalized clique ratio grew from %.2f to %.2f: O(k) shape violated", first, last)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var x float64
+	if _, err := fmtSscan(s, &x); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return x
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/sched"
+	"dtm/internal/stats"
+	"dtm/internal/workload"
+)
+
+// figure10Load sweeps the Poisson arrival rate (smaller period = heavier
+// load) on a clique (greedy) and a line (bucket). The paper's concluding
+// remarks leave congestion behavior open; this experiment charts it.
+func figure10Load(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("Figure 10 — load sweep (Poisson arrivals; smaller period = heavier load)",
+		"graph", "scheduler", "period", "mean latency", "max latency", "makespan")
+	periods := []core.Time{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		periods = []core.Time{2, 8}
+	}
+	type setting struct {
+		mkGraph func() (*graph.Graph, error)
+		mkSched func() sched.Scheduler
+	}
+	settings := []setting{
+		{func() (*graph.Graph, error) { return graph.Clique(24) }, newGreedy},
+		{func() (*graph.Graph, error) { return graph.Line(32) }, newBucketTour},
+	}
+	if cfg.Quick {
+		settings = settings[:1]
+	}
+	for _, st := range settings {
+		g, err := st.mkGraph()
+		if err != nil {
+			return nil, err
+		}
+		for _, period := range periods {
+			var meanLat, maxLat, mkspan float64
+			trials := cfg.trials()
+			for tr := 0; tr < trials; tr++ {
+				in, err := workload.Generate(g, workload.Config{
+					K: 2, NumObjects: g.N(), Rounds: 4,
+					Arrival: workload.ArrivalPoisson, Period: period,
+					Seed: cfg.Seed + int64(tr)*31,
+				})
+				if err != nil {
+					return nil, err
+				}
+				rr, err := sched.Run(in, st.mkSched(), sched.Options{SnapshotEvery: -1})
+				if err != nil {
+					return nil, err
+				}
+				meanLat += rr.MeanLat()
+				maxLat += float64(rr.MaxLat)
+				mkspan += float64(rr.Makespan)
+			}
+			f := float64(trials)
+			t.AddRow(g.Name(), st.mkSched().Name(), fmt.Sprint(period),
+				f1(meanLat/f), f1(maxLat/f), f1(mkspan/f))
+		}
+	}
+	return t, nil
+}

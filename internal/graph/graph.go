@@ -1,0 +1,412 @@
+// Package graph provides the weighted-graph substrate for the distributed
+// transactional memory model of Busch et al. (IPPS 2020): communication
+// graphs G = (V, E, w) with positive integer edge weights, shortest-path
+// machinery (distances, routing next hops, explicit paths), diameter, and
+// metric-closure minimum spanning trees used by the lower-bound estimators.
+//
+// All query methods are safe for concurrent use; shortest-path trees are
+// computed lazily per source and cached.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a node of a Graph. Nodes are numbered 0..N()-1.
+type NodeID int
+
+// Weight is an edge weight or a path distance, in time steps.
+// Sending a message (or moving an object) across an edge e takes w(e) steps.
+type Weight int64
+
+// Infinite is returned by Dist for unreachable node pairs.
+const Infinite = Weight(1) << 62
+
+// Edge is a directed half-edge in an adjacency list.
+type Edge struct {
+	To NodeID
+	W  Weight
+}
+
+// Graph is an undirected weighted graph with positive integer edge weights.
+// The zero value is not usable; construct with New.
+type Graph struct {
+	name string
+	adj  [][]Edge
+	m    int
+
+	mu    sync.Mutex
+	trees []*spTree // lazily built shortest-path tree per source
+}
+
+type spTree struct {
+	dist   []Weight
+	parent []NodeID // parent[v] on shortest path tree; -1 for source/unreachable
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: node count must be positive, got %d", n)
+	}
+	return &Graph{
+		adj:   make([][]Edge, n),
+		trees: make([]*spTree, n),
+	}, nil
+}
+
+// MustNew is New for statically valid sizes; it panics on error.
+func MustNew(n int) *Graph {
+	g, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name returns the topology name, if one was set by a constructor.
+func (g *Graph) Name() string { return g.name }
+
+// SetName labels the graph (used in experiment output).
+func (g *Graph) SetName(name string) { g.name = name }
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts an undirected edge {u, v} of weight w. It is an error to
+// add a self-loop, an out-of-range endpoint, or a non-positive weight.
+// Parallel edges are coalesced, keeping the smaller weight.
+func (g *Graph) AddEdge(u, v NodeID, w Weight) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	if !g.valid(u) || !g.valid(v) {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.N())
+	}
+	if w <= 0 {
+		return fmt.Errorf("graph: edge {%d,%d} has non-positive weight %d", u, v, w)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range g.trees {
+		g.trees[i] = nil // invalidate caches
+	}
+	if i := indexOf(g.adj[u], v); i >= 0 {
+		if w < g.adj[u][i].W {
+			g.adj[u][i].W = w
+			g.adj[v][indexOf(g.adj[v], u)].W = w
+		}
+		return nil
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+	g.adj[v] = append(g.adj[v], Edge{To: u, W: w})
+	g.m++
+	return nil
+}
+
+func indexOf(es []Edge, v NodeID) int {
+	for i, e := range es {
+		if e.To == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func (g *Graph) valid(u NodeID) bool { return u >= 0 && int(u) < g.N() }
+
+// Neighbors returns the adjacency list of u. The returned slice must not be
+// modified.
+func (g *Graph) Neighbors(u NodeID) []Edge {
+	if !g.valid(u) {
+		return nil
+	}
+	return g.adj[u]
+}
+
+// EdgeWeight returns the weight of edge {u,v} and whether it exists.
+func (g *Graph) EdgeWeight(u, v NodeID) (Weight, bool) {
+	if !g.valid(u) || !g.valid(v) {
+		return 0, false
+	}
+	if i := indexOf(g.adj[u], v); i >= 0 {
+		return g.adj[u][i].W, true
+	}
+	return 0, false
+}
+
+// tree returns the cached shortest-path tree rooted at src, building it if
+// needed.
+func (g *Graph) tree(src NodeID) *spTree {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t := g.trees[src]; t != nil {
+		return t
+	}
+	t := g.dijkstra(src)
+	g.trees[src] = t
+	return t
+}
+
+// dijkstra computes a deterministic shortest-path tree from src, breaking
+// distance ties by smaller node ID so that routing is reproducible.
+func (g *Graph) dijkstra(src NodeID) *spTree {
+	n := g.N()
+	t := &spTree{
+		dist:   make([]Weight, n),
+		parent: make([]NodeID, n),
+	}
+	for i := range t.dist {
+		t.dist[i] = Infinite
+		t.parent[i] = -1
+	}
+	t.dist[src] = 0
+	pq := &nodeHeap{{node: src, dist: 0}}
+	done := make([]bool, n)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, e := range g.adj[u] {
+			nd := it.dist + e.W
+			switch {
+			case nd < t.dist[e.To]:
+				t.dist[e.To] = nd
+				t.parent[e.To] = u
+				heap.Push(pq, heapItem{node: e.To, dist: nd})
+			case nd == t.dist[e.To] && u < t.parent[e.To]:
+				// Deterministic tie-break: prefer the smaller-ID parent.
+				t.parent[e.To] = u
+			}
+		}
+	}
+	return t
+}
+
+// Dist returns the shortest-path distance from u to v, or Infinite if v is
+// unreachable from u.
+func (g *Graph) Dist(u, v NodeID) Weight {
+	if !g.valid(u) || !g.valid(v) {
+		return Infinite
+	}
+	return g.tree(u).dist[v]
+}
+
+// NextHop returns the first node after u on the (deterministic) shortest path
+// from u to v. It returns u itself when u == v, and -1 when v is unreachable.
+func (g *Graph) NextHop(u, v NodeID) NodeID {
+	if u == v {
+		return u
+	}
+	if !g.valid(u) || !g.valid(v) {
+		return -1
+	}
+	t := g.tree(u)
+	if t.dist[v] == Infinite {
+		return -1
+	}
+	// Walk the tree from v back toward u; the last node before u is the hop.
+	cur := v
+	for t.parent[cur] != u {
+		cur = t.parent[cur]
+	}
+	return cur
+}
+
+// Path returns the node sequence of the deterministic shortest path from u to
+// v, inclusive of both endpoints. It returns nil when v is unreachable.
+func (g *Graph) Path(u, v NodeID) []NodeID {
+	if !g.valid(u) || !g.valid(v) {
+		return nil
+	}
+	if u == v {
+		return []NodeID{u}
+	}
+	t := g.tree(u)
+	if t.dist[v] == Infinite {
+		return nil
+	}
+	var rev []NodeID
+	for cur := v; cur != -1; cur = t.parent[cur] {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Eccentricity returns the maximum finite distance from u to any node, or
+// Infinite if some node is unreachable.
+func (g *Graph) Eccentricity(u NodeID) Weight {
+	t := g.tree(u)
+	var ecc Weight
+	for _, d := range t.dist {
+		if d == Infinite {
+			return Infinite
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the maximum shortest-path distance over all node pairs,
+// or Infinite for a disconnected graph.
+func (g *Graph) Diameter() Weight {
+	var dia Weight
+	for u := 0; u < g.N(); u++ {
+		e := g.Eccentricity(NodeID(u))
+		if e == Infinite {
+			return Infinite
+		}
+		if e > dia {
+			dia = e
+		}
+	}
+	return dia
+}
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool {
+	return g.Eccentricity(0) != Infinite
+}
+
+// Ball returns the set of nodes within distance r of u (including u),
+// sorted by node ID.
+func (g *Graph) Ball(u NodeID, r Weight) []NodeID {
+	t := g.tree(u)
+	var out []NodeID
+	for v, d := range t.dist {
+		if d <= r {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// MetricMST returns the weight of a minimum spanning tree of the metric
+// closure restricted to the given nodes. Duplicate nodes are ignored.
+//
+// Because any walk visiting all of nodes is at least as long as such a tree,
+// MetricMST lower-bounds the travel time of a single mobile object that must
+// visit every node in the set. It returns 0 for fewer than two distinct
+// nodes and Infinite if the set is not mutually reachable.
+func (g *Graph) MetricMST(nodes []NodeID) Weight {
+	set := make(map[NodeID]bool, len(nodes))
+	for _, v := range nodes {
+		set[v] = true
+	}
+	distinct := make([]NodeID, 0, len(set))
+	for v := range set {
+		distinct = append(distinct, v)
+	}
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+	if len(distinct) < 2 {
+		return 0
+	}
+	// Prim's algorithm on the metric closure.
+	const unseen = Infinite
+	best := make([]Weight, len(distinct))
+	inTree := make([]bool, len(distinct))
+	for i := range best {
+		best[i] = unseen
+	}
+	best[0] = 0
+	var total Weight
+	for range distinct {
+		sel := -1
+		for i, b := range best {
+			if !inTree[i] && (sel == -1 || b < best[sel]) {
+				sel = i
+			}
+		}
+		if best[sel] == Infinite {
+			return Infinite
+		}
+		inTree[sel] = true
+		total += best[sel]
+		t := g.tree(distinct[sel])
+		for i, v := range distinct {
+			if !inTree[i] && t.dist[v] < best[i] {
+				best[i] = t.dist[v]
+			}
+		}
+	}
+	return total
+}
+
+// MaxEdgeWeight returns the largest edge weight in the graph (0 for an
+// edgeless graph).
+func (g *Graph) MaxEdgeWeight() Weight {
+	var mw Weight
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if e.W > mw {
+				mw = e.W
+			}
+		}
+	}
+	return mw
+}
+
+// MinEdgeWeight returns the smallest edge weight in the graph (0 for an
+// edgeless graph).
+func (g *Graph) MinEdgeWeight() Weight {
+	var mw Weight
+	first := true
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if first || e.W < mw {
+				mw = e.W
+				first = false
+			}
+		}
+	}
+	return mw
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	name := g.name
+	if name == "" {
+		name = "graph"
+	}
+	return fmt.Sprintf("%s(n=%d, m=%d)", name, g.N(), g.M())
+}
+
+// heapItem and nodeHeap implement the Dijkstra priority queue with
+// deterministic (dist, node) ordering.
+type heapItem struct {
+	node NodeID
+	dist Weight
+}
+
+type nodeHeap []heapItem
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,529 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustLine(t *testing.T, n int) *Graph {
+	t.Helper()
+	g, err := Line(n)
+	if err != nil {
+		t.Fatalf("Line(%d): %v", n, err)
+	}
+	return g
+}
+
+func TestNewRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d): want error, got nil", n)
+		}
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := MustNew(3)
+	cases := []struct {
+		u, v NodeID
+		w    Weight
+	}{
+		{0, 0, 1},  // self loop
+		{0, 3, 1},  // out of range
+		{-1, 1, 1}, // negative node
+		{0, 1, 0},  // zero weight
+		{0, 1, -5}, // negative weight
+	}
+	for _, c := range cases {
+		if err := g.AddEdge(c.u, c.v, c.w); err == nil {
+			t.Errorf("AddEdge(%d,%d,%d): want error, got nil", c.u, c.v, c.w)
+		}
+	}
+	if g.M() != 0 {
+		t.Errorf("invalid edges were added: m=%d", g.M())
+	}
+}
+
+func TestParallelEdgesKeepMinWeight(t *testing.T) {
+	g := MustNew(2)
+	if err := g.AddEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M() = %d, want 1", g.M())
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 3 {
+		t.Fatalf("EdgeWeight(0,1) = %d,%v, want 3,true", w, ok)
+	}
+	if d := g.Dist(0, 1); d != 3 {
+		t.Fatalf("Dist(0,1) = %d, want 3", d)
+	}
+}
+
+func TestLineDistances(t *testing.T) {
+	g := mustLine(t, 10)
+	for u := 0; u < 10; u++ {
+		for v := 0; v < 10; v++ {
+			want := Weight(abs(u - v))
+			if d := g.Dist(NodeID(u), NodeID(v)); d != want {
+				t.Errorf("Dist(%d,%d) = %d, want %d", u, v, d, want)
+			}
+		}
+	}
+	if d := g.Diameter(); d != 9 {
+		t.Errorf("Diameter = %d, want 9", d)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestWeightedShortestPathPrefersLightRoute(t *testing.T) {
+	// 0 -10- 1, 0 -1- 2 -1- 1: the two-hop route is shorter.
+	g := MustNew(3)
+	for _, e := range []struct {
+		u, v NodeID
+		w    Weight
+	}{{0, 1, 10}, {0, 2, 1}, {2, 1, 1}} {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := g.Dist(0, 1); d != 2 {
+		t.Fatalf("Dist(0,1) = %d, want 2", d)
+	}
+	if hop := g.NextHop(0, 1); hop != 2 {
+		t.Fatalf("NextHop(0,1) = %d, want 2", hop)
+	}
+	want := []NodeID{0, 2, 1}
+	got := g.Path(0, 1)
+	if len(got) != len(want) {
+		t.Fatalf("Path(0,1) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Path(0,1) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := MustNew(4)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Error("Connected() = true, want false")
+	}
+	if d := g.Dist(0, 2); d != Infinite {
+		t.Errorf("Dist(0,2) = %d, want Infinite", d)
+	}
+	if d := g.Diameter(); d != Infinite {
+		t.Errorf("Diameter = %d, want Infinite", d)
+	}
+	if hop := g.NextHop(0, 3); hop != -1 {
+		t.Errorf("NextHop(0,3) = %d, want -1", hop)
+	}
+	if p := g.Path(0, 3); p != nil {
+		t.Errorf("Path(0,3) = %v, want nil", p)
+	}
+}
+
+func TestPathEndpointsAndLength(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u += 3 {
+		for v := 0; v < g.N(); v += 5 {
+			p := g.Path(NodeID(u), NodeID(v))
+			if p[0] != NodeID(u) || p[len(p)-1] != NodeID(v) {
+				t.Fatalf("Path(%d,%d) endpoints wrong: %v", u, v, p)
+			}
+			var total Weight
+			for i := 0; i+1 < len(p); i++ {
+				w, ok := g.EdgeWeight(p[i], p[i+1])
+				if !ok {
+					t.Fatalf("Path(%d,%d) uses non-edge {%d,%d}", u, v, p[i], p[i+1])
+				}
+				total += w
+			}
+			if total != g.Dist(NodeID(u), NodeID(v)) {
+				t.Fatalf("Path(%d,%d) length %d != Dist %d", u, v, total, g.Dist(NodeID(u), NodeID(v)))
+			}
+		}
+	}
+}
+
+func TestNextHopConsistentWithDist(t *testing.T) {
+	g, err := RandomConnected(40, 60, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v {
+				if hop := g.NextHop(NodeID(u), NodeID(v)); hop != NodeID(u) {
+					t.Fatalf("NextHop(%d,%d) = %d, want %d", u, v, hop, u)
+				}
+				continue
+			}
+			hop := g.NextHop(NodeID(u), NodeID(v))
+			w, ok := g.EdgeWeight(NodeID(u), hop)
+			if !ok {
+				t.Fatalf("NextHop(%d,%d) = %d is not adjacent to %d", u, v, hop, u)
+			}
+			if g.Dist(NodeID(u), NodeID(v)) != w+g.Dist(hop, NodeID(v)) {
+				t.Fatalf("NextHop(%d,%d) = %d not on a shortest path", u, v, hop)
+			}
+		}
+	}
+}
+
+func TestCliqueProperties(t *testing.T) {
+	g, err := Clique(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 8*7/2 {
+		t.Errorf("clique M = %d, want %d", g.M(), 8*7/2)
+	}
+	if d := g.Diameter(); d != 1 {
+		t.Errorf("clique diameter = %d, want 1", d)
+	}
+}
+
+func TestWeightedClique(t *testing.T) {
+	g, err := WeightedClique(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Errorf("weighted clique diameter = %d, want 4", d)
+	}
+}
+
+func TestHypercubeDistancesAreHamming(t *testing.T) {
+	dim := 5
+	g, err := Hypercube(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1<<dim {
+		t.Fatalf("N = %d, want %d", g.N(), 1<<dim)
+	}
+	popcount := func(x int) int {
+		c := 0
+		for x != 0 {
+			c += x & 1
+			x >>= 1
+		}
+		return c
+	}
+	for u := 0; u < g.N(); u += 3 {
+		for v := 0; v < g.N(); v += 7 {
+			want := Weight(popcount(u ^ v))
+			if d := g.Dist(NodeID(u), NodeID(v)); d != want {
+				t.Errorf("hypercube Dist(%d,%d) = %d, want %d", u, v, d, want)
+			}
+		}
+	}
+	if d := g.Diameter(); d != Weight(dim) {
+		t.Errorf("hypercube diameter = %d, want %d", d, dim)
+	}
+}
+
+func TestButterflyShape(t *testing.T) {
+	dim := 3
+	g, err := Butterfly(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 1 << dim
+	if g.N() != (dim+1)*rows {
+		t.Fatalf("N = %d, want %d", g.N(), (dim+1)*rows)
+	}
+	if g.M() != 2*dim*rows {
+		t.Fatalf("M = %d, want %d", g.M(), 2*dim*rows)
+	}
+	if !g.Connected() {
+		t.Fatal("butterfly disconnected")
+	}
+	// Diameter of the non-wrapped butterfly is 2*dim.
+	if d := g.Diameter(); d != Weight(2*dim) {
+		t.Errorf("butterfly diameter = %d, want %d", d, 2*dim)
+	}
+}
+
+func TestGridShapes(t *testing.T) {
+	g, err := Grid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 16 || g.M() != 2*4*3 {
+		t.Fatalf("4x4 grid: n=%d m=%d", g.N(), g.M())
+	}
+	if d := g.Diameter(); d != 6 {
+		t.Errorf("4x4 grid diameter = %d, want 6", d)
+	}
+	// Grid of d twos == hypercube of dimension d.
+	g2, err := Grid(2, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != h.N() || g2.M() != h.M() || g2.Diameter() != h.Diameter() {
+		t.Errorf("grid(2^4) vs hypercube(4): n %d/%d m %d/%d dia %d/%d",
+			g2.N(), h.N(), g2.M(), h.M(), g2.Diameter(), h.Diameter())
+	}
+	if _, err := Grid(); err == nil {
+		t.Error("Grid(): want error")
+	}
+	if _, err := Grid(3, 0); err == nil {
+		t.Error("Grid(3,0): want error")
+	}
+}
+
+func TestClusterTopology(t *testing.T) {
+	spec := ClusterSpec{Alpha: 3, Beta: 4, Gamma: 5}
+	g, err := Cluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("N = %d, want 12", g.N())
+	}
+	// Within a clique: distance 1.
+	if d := g.Dist(1, 2); d != 1 {
+		t.Errorf("intra-clique Dist = %d, want 1", d)
+	}
+	// Across cliques: to bridge (<=1) + gamma + from bridge (<=1).
+	if d := g.Dist(ClusterBridge(spec, 0), ClusterBridge(spec, 1)); d != 5 {
+		t.Errorf("bridge-to-bridge Dist = %d, want 5", d)
+	}
+	if d := g.Dist(1, 5); d != 1+5+1 {
+		t.Errorf("cross-clique Dist = %d, want 7", d)
+	}
+	if _, err := Cluster(ClusterSpec{Alpha: 2, Beta: 4, Gamma: 2}); err == nil {
+		t.Error("gamma < beta: want error")
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	spec := StarSpec{Rays: 4, RayLen: 3}
+	g, err := Star(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 13 {
+		t.Fatalf("N = %d, want 13", g.N())
+	}
+	// Tip of ray 0 is node 3, at distance 3 from the center.
+	if d := g.Dist(0, 3); d != 3 {
+		t.Errorf("center-to-tip Dist = %d, want 3", d)
+	}
+	// Tip to tip passes through center: 3 + 3.
+	if d := g.Dist(3, 1+1*3+2); d != 6 {
+		t.Errorf("tip-to-tip Dist = %d, want 6", d)
+	}
+	if d := g.Diameter(); d != 6 {
+		t.Errorf("star diameter = %d, want 6", d)
+	}
+}
+
+func TestTree(t *testing.T) {
+	g, err := Tree(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 15 {
+		t.Fatalf("N = %d, want 15", g.N())
+	}
+	if d := g.Diameter(); d != 6 {
+		t.Errorf("tree diameter = %d, want 6", d)
+	}
+}
+
+func TestRandomConnectedIsConnectedAndDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g1, err := RandomConnected(30, 20, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g1.Connected() {
+			t.Fatalf("seed %d: disconnected", seed)
+		}
+		g2, err := RandomConnected(30, 20, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1.M() != g2.M() || g1.Diameter() != g2.Diameter() {
+			t.Fatalf("seed %d: not deterministic", seed)
+		}
+	}
+}
+
+func TestMetricMST(t *testing.T) {
+	g := mustLine(t, 10)
+	// Nodes {0, 9}: MST weight is the distance 9.
+	if w := g.MetricMST([]NodeID{0, 9}); w != 9 {
+		t.Errorf("MetricMST({0,9}) = %d, want 9", w)
+	}
+	// Nodes {0, 5, 9} on a line: MST = 5 + 4.
+	if w := g.MetricMST([]NodeID{0, 5, 9}); w != 9 {
+		t.Errorf("MetricMST({0,5,9}) = %d, want 9", w)
+	}
+	if w := g.MetricMST([]NodeID{3}); w != 0 {
+		t.Errorf("MetricMST(single) = %d, want 0", w)
+	}
+	if w := g.MetricMST(nil); w != 0 {
+		t.Errorf("MetricMST(nil) = %d, want 0", w)
+	}
+	// Duplicates ignored.
+	if w := g.MetricMST([]NodeID{2, 2, 2, 7}); w != 5 {
+		t.Errorf("MetricMST(dups) = %d, want 5", w)
+	}
+}
+
+func TestBall(t *testing.T) {
+	g := mustLine(t, 10)
+	ball := g.Ball(5, 2)
+	want := []NodeID{3, 4, 5, 6, 7}
+	if len(ball) != len(want) {
+		t.Fatalf("Ball(5,2) = %v, want %v", ball, want)
+	}
+	for i := range want {
+		if ball[i] != want[i] {
+			t.Fatalf("Ball(5,2) = %v, want %v", ball, want)
+		}
+	}
+	if b := g.Ball(0, 0); len(b) != 1 || b[0] != 0 {
+		t.Errorf("Ball(0,0) = %v, want [0]", b)
+	}
+}
+
+func TestMinMaxEdgeWeight(t *testing.T) {
+	g := MustNew(3)
+	if g.MaxEdgeWeight() != 0 || g.MinEdgeWeight() != 0 {
+		t.Error("edgeless graph should report 0 min/max weight")
+	}
+	if err := g.AddEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if g.MinEdgeWeight() != 3 || g.MaxEdgeWeight() != 8 {
+		t.Errorf("min/max = %d/%d, want 3/8", g.MinEdgeWeight(), g.MaxEdgeWeight())
+	}
+}
+
+// Property: for random connected graphs, the triangle inequality holds for
+// shortest-path distances, and Dist is symmetric.
+func TestDistMetricProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		g, err := RandomConnected(25, 15, 6, seed)
+		if err != nil {
+			return false
+		}
+		n := g.N()
+		for u := 0; u < n; u += 2 {
+			for v := 0; v < n; v += 3 {
+				if g.Dist(NodeID(u), NodeID(v)) != g.Dist(NodeID(v), NodeID(u)) {
+					return false
+				}
+				for w := 0; w < n; w += 5 {
+					if g.Dist(NodeID(u), NodeID(v)) > g.Dist(NodeID(u), NodeID(w))+g.Dist(NodeID(w), NodeID(v)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MetricMST of a subset lower-bounds any visiting walk we can
+// construct (here: the walk visiting the subset in node-ID order).
+func TestMetricMSTLowerBoundsOrderedWalk(t *testing.T) {
+	check := func(seed int64) bool {
+		g, err := RandomConnected(20, 10, 5, seed)
+		if err != nil {
+			return false
+		}
+		nodes := []NodeID{1, 4, 7, 11, 15, 19}
+		var walk Weight
+		for i := 0; i+1 < len(nodes); i++ {
+			walk += g.Dist(nodes[i], nodes[i+1])
+		}
+		return g.MetricMST(nodes) <= walk
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDijkstraHypercube10(b *testing.B) {
+	g, err := Hypercube(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Bypass the cache by rebuilding the tree.
+		_ = g.dijkstra(NodeID(i % g.N()))
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g, err := Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 16 {
+		t.Fatalf("N = %d, want 16", g.N())
+	}
+	// Grid(4,4) has 24 edges; the torus adds 4 wraps per dimension.
+	if g.M() != 24+8 {
+		t.Errorf("M = %d, want 32", g.M())
+	}
+	// Wraparound halves the worst-case distance: diameter 2+2.
+	if d := g.Diameter(); d != 4 {
+		t.Errorf("diameter = %d, want 4", d)
+	}
+	// Side-2 dimensions gain no duplicate wrap edges.
+	g2, err := Torus(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != 4 {
+		t.Errorf("2x2 torus M = %d, want 4", g2.M())
+	}
+	// A 1-D torus of length n is the ring.
+	g3, err := Torus(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g3.Diameter(); d != 3 {
+		t.Errorf("torus(6) diameter = %d, want 3 (ring)", d)
+	}
+}

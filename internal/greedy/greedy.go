@@ -1,0 +1,371 @@
+// Package greedy implements Algorithm 1 of Busch et al. (IPPS 2020): the
+// online greedy schedule. At each arrival time the newly generated
+// transactions are inserted into the extended dependency graph H'_t —
+// whose vertices are the live transactions plus a "current transaction" for
+// each object's present position (including the artificial node for objects
+// in transit) — and are greedily assigned valid colors, which translate
+// directly into execution times.
+//
+// Two modes are provided:
+//
+//   - General weights (Theorem 1): colors are found with Lemma 1, so each
+//     transaction generated at time t executes by t + 2Γ'_t(T) − Δ'_t(T).
+//   - Uniform weights (Theorem 2): the graph is overlaid with a uniform
+//     weight β (for the hypercube, β = log n — Section III-D), decisions
+//     are quantized to epochs that are multiples of β, and colors are
+//     found with Lemma 2, so each transaction executes by its epoch + Γ'.
+package greedy
+
+import (
+	"fmt"
+	"sort"
+
+	"dtm/internal/coloring"
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/sched"
+)
+
+// Options configure the greedy scheduler.
+type Options struct {
+	// Uniform selects Theorem 2 mode: all conflict edges are overlaid with
+	// weight Beta and decisions happen on multiples of Beta.
+	Uniform bool
+	// Beta is the uniform overlay weight; if zero in Uniform mode, the
+	// graph diameter is used (the hypercube analysis of Section III-D).
+	Beta graph.Weight
+	// Hub, when set, models the Section III-E funnel: every execution time
+	// is floored by the distance from the hub to the transaction's node
+	// (the scheduling decision must reach the transaction). Used by
+	// Coordinator.
+	Hub *graph.NodeID
+	// Pad (>= 1) multiplies every dependency-graph edge weight, spacing
+	// executions out by that factor. An extension for the paper's
+	// bounded-link-capacity open problem: padded schedules leave slack for
+	// objects that queue at saturated links, trading nominal latency for
+	// fewer congestion stalls (experiment F13). Zero means 1 (no padding).
+	Pad int
+}
+
+func (o Options) pad() graph.Weight {
+	if o.Pad <= 1 {
+		return 1
+	}
+	return graph.Weight(o.Pad)
+}
+
+// Audit accumulates the per-transaction Theorem 1/2 bound checks.
+type Audit struct {
+	Scheduled   int
+	WithinBound int // transactions whose color met the theorem bound
+	MaxColor    coloring.Color
+	MaxBound    coloring.Color
+}
+
+// Greedy is the online greedy scheduler. Create with New; it implements
+// sched.Scheduler.
+type Greedy struct {
+	opts Options
+	env  *sched.Env
+	beta graph.Weight
+
+	live     []core.TxID                // scheduled and possibly still live
+	objUsers map[core.ObjID][]core.TxID // live scheduled users per object
+	buffer   []*core.Transaction        // Uniform mode: awaiting epoch
+	audit    Audit
+}
+
+// New returns a greedy scheduler with the given options.
+func New(opts Options) *Greedy {
+	return &Greedy{opts: opts, objUsers: make(map[core.ObjID][]core.TxID)}
+}
+
+// Name implements sched.Scheduler.
+func (g *Greedy) Name() string {
+	name := "greedy"
+	if g.opts.Uniform {
+		name = fmt.Sprintf("greedy-uniform(beta=%d)", g.beta)
+	}
+	if g.opts.Pad > 1 {
+		name += fmt.Sprintf("+pad%d", g.opts.Pad)
+	}
+	return name
+}
+
+// Audit returns the theorem-bound audit collected so far.
+func (g *Greedy) Audit() Audit { return g.audit }
+
+// Start implements sched.Scheduler.
+func (g *Greedy) Start(env *sched.Env) error {
+	g.env = env
+	g.beta = g.opts.Beta
+	if g.opts.Uniform {
+		if g.beta == 0 {
+			g.beta = env.G.Diameter()
+		}
+		if g.beta < env.G.Diameter() {
+			return fmt.Errorf("greedy: uniform overlay beta=%d below graph diameter %d", g.beta, env.G.Diameter())
+		}
+	}
+	return nil
+}
+
+// OnArrive implements sched.Scheduler: in general mode transactions are
+// scheduled immediately; in uniform mode they wait for the next epoch.
+func (g *Greedy) OnArrive(txns []*core.Transaction) error {
+	if g.opts.Uniform {
+		g.buffer = append(g.buffer, txns...)
+		return nil
+	}
+	return g.schedule(txns)
+}
+
+// NextWake implements sched.Scheduler.
+func (g *Greedy) NextWake() (core.Time, bool) {
+	if !g.opts.Uniform || len(g.buffer) == 0 {
+		return 0, false
+	}
+	now := g.env.Sim.Now()
+	b := core.Time(g.beta)
+	next := (now + b - 1) / b * b
+	return next, true
+}
+
+// OnWake implements sched.Scheduler: uniform mode schedules the buffered
+// transactions at the epoch boundary.
+func (g *Greedy) OnWake() error {
+	txns := g.buffer
+	g.buffer = nil
+	return g.schedule(txns)
+}
+
+// ScheduleBatch schedules the given (arrived, undecided) transactions
+// immediately against the current extended dependency graph. Exposed for
+// the Section III-E Coordinator, which delays and floors decisions.
+func (g *Greedy) ScheduleBatch(txns []*core.Transaction) error {
+	return g.schedule(txns)
+}
+
+// schedule colors the new transactions against the extended dependency
+// graph H'_t and fixes their execution times.
+func (g *Greedy) schedule(txns []*core.Transaction) error {
+	if len(txns) == 0 {
+		return nil
+	}
+	now := g.env.Sim.Now()
+	g.prune(now)
+
+	// Vertex layout: [new txns][conflicting scheduled live txns][Z vertices]
+	// [optional hub anchor].
+	newIdx := make(map[core.TxID]coloring.VertexID, len(txns))
+	for i, tx := range txns {
+		newIdx[tx.ID] = coloring.VertexID(i)
+	}
+	oldIdx := make(map[core.TxID]coloring.VertexID)
+	zIdx := make(map[core.ObjID]coloring.VertexID)
+	var oldList []core.TxID
+	var zList []core.ObjID
+	for _, tx := range txns {
+		for _, o := range tx.Objects {
+			if _, ok := zIdx[o]; !ok {
+				zIdx[o] = 0 // placeholder; assigned below
+				zList = append(zList, o)
+			}
+			for _, u := range g.objUsers[o] {
+				if _, ok := newIdx[u]; ok {
+					continue
+				}
+				if _, ok := oldIdx[u]; !ok {
+					oldIdx[u] = 0
+					oldList = append(oldList, u)
+				}
+			}
+		}
+	}
+	base := len(txns)
+	for i, u := range oldList {
+		oldIdx[u] = coloring.VertexID(base + i)
+	}
+	base += len(oldList)
+	for i, o := range zList {
+		zIdx[o] = coloring.VertexID(base + i)
+	}
+	base += len(zList)
+	total := base
+	hubVertex := coloring.VertexID(-1)
+	if g.opts.Hub != nil {
+		hubVertex = coloring.VertexID(total)
+		total++
+	}
+	cg := coloring.New(total)
+
+	// Pre-color scheduled live transactions with their remaining time, and
+	// current transactions (object positions) with 0.
+	for u, v := range oldIdx {
+		exec, ok := g.env.Sim.Scheduled(u)
+		if !ok {
+			return fmt.Errorf("greedy: live transaction %d has no schedule", u)
+		}
+		cg.SetColor(v, coloring.Color(exec-now))
+	}
+	for _, o := range zList {
+		cg.SetColor(zIdx[o], 0)
+	}
+	if hubVertex >= 0 {
+		cg.SetColor(hubVertex, 0)
+	}
+
+	// Edges incident to new transactions.
+	type pair struct{ a, b coloring.VertexID }
+	seen := make(map[pair]bool)
+	addEdge := func(a, b coloring.VertexID, w graph.Weight) error {
+		if a > b {
+			a, b = b, a
+		}
+		if seen[pair{a, b}] {
+			return nil
+		}
+		seen[pair{a, b}] = true
+		return cg.AddEdge(a, b, w)
+	}
+	in := g.env.Sim.Instance()
+	for _, tx := range txns {
+		tv := newIdx[tx.ID]
+		if hubVertex >= 0 {
+			w := g.env.G.Dist(*g.opts.Hub, tx.Node)
+			if g.opts.Uniform && w%g.beta != 0 {
+				w = (w/g.beta + 1) * g.beta
+			}
+			if err := addEdge(tv, hubVertex, w); err != nil {
+				return err
+			}
+		}
+		for _, o := range tx.Objects {
+			// Current-transaction edge: the object's feasible travel time
+			// to this transaction from its present position.
+			if err := addEdge(tv, zIdx[o], g.zWeight(o, tx.Node, now)); err != nil {
+				return err
+			}
+			// Conflict edges to every other live user of o.
+			for _, u := range g.objUsers[o] {
+				if u == tx.ID {
+					continue
+				}
+				var uv coloring.VertexID
+				if v, ok := newIdx[u]; ok {
+					uv = v
+				} else {
+					uv = oldIdx[u]
+				}
+				if err := addEdge(tv, uv, g.conflictWeight(tx.Node, in.Txns[u].Node)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Register the new transactions as users before coloring so that
+	// new-new conflicts are fully wired (they already are, since objUsers
+	// additions below only matter for future arrivals) — but they must be
+	// in objUsers for each other: wire them explicitly now.
+	for i, tx := range txns {
+		for j := i + 1; j < len(txns); j++ {
+			if tx.Conflicts(txns[j]) {
+				if err := addEdge(newIdx[tx.ID], newIdx[txns[j].ID], g.conflictWeight(tx.Node, txns[j].Node)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Color the new transactions in ID order and commit decisions.
+	sorted := append([]*core.Transaction(nil), txns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, tx := range sorted {
+		v := newIdx[tx.ID]
+		var c, bound coloring.Color
+		if g.opts.Uniform {
+			c = cg.GreedyColorUniform(v, g.beta)
+			bound = coloring.Color(cg.WeightedDegree(v)) + coloring.Color(g.beta)
+		} else {
+			c = cg.GreedyColor(v)
+			bound = 2*coloring.Color(cg.WeightedDegree(v)) - coloring.Color(cg.Degree(v))
+			if bound < 0 {
+				bound = 0
+			}
+		}
+		g.audit.Scheduled++
+		if c <= bound {
+			g.audit.WithinBound++
+		}
+		if c > g.audit.MaxColor {
+			g.audit.MaxColor = c
+		}
+		if bound > g.audit.MaxBound {
+			g.audit.MaxBound = bound
+		}
+		if err := g.env.Sim.Decide(tx.ID, now+core.Time(c)); err != nil {
+			return err
+		}
+	}
+	// Track the new transactions as live users.
+	for _, tx := range txns {
+		g.live = append(g.live, tx.ID)
+		for _, o := range tx.Objects {
+			g.objUsers[o] = append(g.objUsers[o], tx.ID)
+		}
+	}
+	return nil
+}
+
+// conflictWeight is the H'_t edge weight between two conflicting
+// transactions: their distance in G, or the uniform overlay weight β,
+// scaled by the congestion padding factor.
+func (g *Greedy) conflictWeight(a, b graph.NodeID) graph.Weight {
+	if g.opts.Uniform {
+		return g.beta * g.opts.pad()
+	}
+	return g.env.G.Dist(a, b) * g.opts.pad()
+}
+
+// zWeight is the H'_t edge weight between a transaction at node and the
+// object's current transaction Z_t(o): the object's feasible travel time,
+// plus its remaining creation delay if it does not exist yet. Uniform mode
+// rounds up to a multiple of β so Lemma 2's multiples-of-β colors apply.
+func (g *Greedy) zWeight(o core.ObjID, node graph.NodeID, now core.Time) graph.Weight {
+	w := g.env.Sim.ObjDistTo(o, node) * g.opts.pad()
+	if created := g.env.Sim.Instance().Objects[o].Created; created > now {
+		w += graph.Weight(created - now)
+	}
+	if g.opts.Uniform && w%g.beta != 0 {
+		w = (w/g.beta + 1) * g.beta
+	}
+	return w
+}
+
+// prune drops executed transactions from the live tracking structures.
+func (g *Greedy) prune(now core.Time) {
+	isLive := func(id core.TxID) bool {
+		et, ok := g.env.Sim.Executed(id)
+		return !ok || et >= now
+	}
+	keep := g.live[:0]
+	for _, id := range g.live {
+		if isLive(id) {
+			keep = append(keep, id)
+		}
+	}
+	g.live = keep
+	for o, users := range g.objUsers {
+		ku := users[:0]
+		for _, id := range users {
+			if isLive(id) {
+				ku = append(ku, id)
+			}
+		}
+		if len(ku) == 0 {
+			delete(g.objUsers, o)
+		} else {
+			g.objUsers[o] = ku
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package greedy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/sched"
+	"dtm/internal/workload"
+)
+
+func runGreedy(t *testing.T, in *core.Instance, opts Options) *sched.RunResult {
+	t.Helper()
+	g := New(opts)
+	rr, err := sched.Run(in, g, sched.Options{})
+	if err != nil {
+		t.Fatalf("%s run failed: %v", g.Name(), err)
+	}
+	if a := g.Audit(); a.WithinBound != a.Scheduled {
+		t.Errorf("%s: %d/%d transactions exceeded the theorem color bound",
+			g.Name(), a.Scheduled-a.WithinBound, a.Scheduled)
+	}
+	return rr
+}
+
+func TestSingleObjectChainOnClique(t *testing.T) {
+	g, err := graph.Clique(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workload.SingleObjectChain(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := runGreedy(t, in, Options{})
+	// 8 transactions all need object 0: serialization forces makespan >= 7
+	// (one already co-located); greedy should not exceed ~2x that.
+	if rr.Makespan < 7 {
+		t.Errorf("makespan = %d, impossible below 7", rr.Makespan)
+	}
+	if rr.Makespan > 16 {
+		t.Errorf("makespan = %d, want <= 16 for unit clique chain", rr.Makespan)
+	}
+	if rr.MaxRatio > 4 {
+		t.Errorf("max ratio = %.2f, want small constant on clique chain", rr.MaxRatio)
+	}
+}
+
+func TestGreedyValidOnRandomCliqueWorkloads(t *testing.T) {
+	g, err := graph.Clique(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		in, err := workload.Generate(g, workload.Config{
+			K: 3, NumObjects: 12, Rounds: 6,
+			Arrival: workload.ArrivalPeriodic, Period: 2, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := runGreedy(t, in, Options{})
+		if rr.Makespan <= 0 {
+			t.Errorf("seed %d: makespan = %d", seed, rr.Makespan)
+		}
+	}
+}
+
+func TestGreedyValidAcrossTopologies(t *testing.T) {
+	tops := map[string]func() (*graph.Graph, error){
+		"line":      func() (*graph.Graph, error) { return graph.Line(12) },
+		"ring":      func() (*graph.Graph, error) { return graph.Ring(12) },
+		"hypercube": func() (*graph.Graph, error) { return graph.Hypercube(4) },
+		"butterfly": func() (*graph.Graph, error) { return graph.Butterfly(3) },
+		"grid":      func() (*graph.Graph, error) { return graph.Grid(4, 4) },
+		"cluster":   func() (*graph.Graph, error) { return graph.Cluster(graph.ClusterSpec{Alpha: 3, Beta: 4, Gamma: 4}) },
+		"star":      func() (*graph.Graph, error) { return graph.Star(graph.StarSpec{Rays: 3, RayLen: 4}) },
+		"tree":      func() (*graph.Graph, error) { return graph.Tree(2, 3) },
+		"random":    func() (*graph.Graph, error) { return graph.RandomConnected(14, 10, 4, 3) },
+	}
+	for name, mk := range tops {
+		g, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		in, err := workload.Generate(g, workload.Config{
+			K: 2, NumObjects: 8, Rounds: 4,
+			Arrival: workload.ArrivalPoisson, Period: 3, Seed: 11,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		runGreedy(t, in, Options{}) // engine validates feasibility
+	}
+}
+
+func TestGreedyUniformOnHypercube(t *testing.T) {
+	g, err := graph.Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workload.Generate(g, workload.Config{
+		K: 2, NumObjects: 8, Rounds: 4,
+		Arrival: workload.ArrivalPeriodic, Period: 3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := New(Options{Uniform: true})
+	rr, err := sched.Run(in, gs, sched.Options{})
+	if err != nil {
+		t.Fatalf("uniform run failed: %v", err)
+	}
+	if a := gs.Audit(); a.WithinBound != a.Scheduled {
+		t.Errorf("theorem 2 bound violated for %d transactions", a.Scheduled-a.WithinBound)
+	}
+	if rr.Makespan%4 != 0 {
+		t.Errorf("makespan = %d, want multiple of beta=4 (epoch-aligned execs)", rr.Makespan)
+	}
+}
+
+func TestGreedyUniformRejectsSmallBeta(t *testing.T) {
+	g, err := graph.Line(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workload.SingleObjectChain(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sched.Run(in, New(Options{Uniform: true, Beta: 2}), sched.Options{})
+	if err == nil {
+		t.Fatal("beta below diameter should be rejected")
+	}
+}
+
+func TestGreedyOverlapChain(t *testing.T) {
+	g, err := graph.Ring(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workload.OverlapChain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runGreedy(t, in, Options{})
+}
+
+// Property: the greedy scheduler produces feasible schedules on random
+// workloads across random graphs; the core engine is the oracle.
+func TestGreedyAlwaysFeasible(t *testing.T) {
+	check := func(seed int64) bool {
+		s := seed
+		if s < 0 {
+			s = -s
+		}
+		g, err := graph.RandomConnected(10+int(s%8), int(s%15), 3, s)
+		if err != nil {
+			return false
+		}
+		in, err := workload.Generate(g, workload.Config{
+			K:          1 + int(s%3),
+			NumObjects: 6,
+			Rounds:     3,
+			Arrival:    workload.ArrivalKind(s % 4),
+			Period:     2,
+			Seed:       s,
+		})
+		if err != nil {
+			return false
+		}
+		_, err = sched.Run(in, New(Options{}), sched.Options{})
+		return err == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDriverReportsUnscheduledTransactions(t *testing.T) {
+	g, err := graph.Clique(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workload.SingleObjectChain(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sched.Run(in, &nopScheduler{}, sched.Options{})
+	if err == nil {
+		t.Fatal("driver should fail when a scheduler never schedules")
+	}
+}
+
+type nopScheduler struct{}
+
+func (*nopScheduler) Name() string                       { return "nop" }
+func (*nopScheduler) Start(*sched.Env) error             { return nil }
+func (*nopScheduler) OnArrive([]*core.Transaction) error { return nil }
+func (*nopScheduler) NextWake() (core.Time, bool)        { return 0, false }
+func (*nopScheduler) OnWake() error                      { return nil }

@@ -1,0 +1,122 @@
+// Package lowerbound computes lower bounds on the optimal offline makespan
+// t* of Definition 1 in Busch et al. (IPPS 2020). Computing t* exactly is
+// NP-hard (even to approximate within a sub-linear factor, by the reduction
+// from vertex coloring the paper cites), so the repository's empirical
+// competitive ratios divide by these bounds instead: because LB <= t*, a
+// measured ratio latency/LB over-estimates the true ratio, which keeps
+// scaling conclusions conservative.
+//
+// Three bounds are combined (the max of lower bounds is a lower bound):
+//
+//  1. Assembly: a transaction cannot execute before its farthest object
+//     reaches it, so t* >= max over live T and o in O(T) of
+//     wait(o) + dist(pos(o), node(T)).
+//  2. Traversal: a single object requested by several live transactions
+//     must visit all their nodes; any such walk is at least the weight of
+//     a minimum spanning tree of the metric closure over
+//     {pos(o)} ∪ {requesters}, so t* >= wait(o) + MST(o).
+//     (This generalizes the paper's l_max serialization argument for the
+//     clique, where MST = l_max - 1 with unit distances.)
+//  3. One: t* >= 1 whenever any live transaction exists whose objects are
+//     not all already co-located and free; in the degenerate all-ready
+//     case we still clamp to 1 to keep ratios finite (a schedule that
+//     executes everything instantly yields latency 0 and ratio 0 anyway).
+package lowerbound
+
+import (
+	"dtm/internal/core"
+	"dtm/internal/graph"
+)
+
+// Avail describes when and where an object becomes available to the live
+// transactions under consideration: either its current position (free now),
+// the node it is in transit to (free on arrival), or the node and execution
+// time of its last already-scheduled user.
+type Avail struct {
+	Node graph.NodeID
+	Free core.Time // absolute time; clamp to "now" if in the past
+}
+
+// Input is a snapshot of the live scheduling state at time Now.
+type Input struct {
+	G     *graph.Graph
+	Now   core.Time
+	Txns  []*core.Transaction // live (unexecuted) transactions
+	Avail map[core.ObjID]Avail
+}
+
+// Estimate returns a lower bound on the optimal duration (relative to
+// Input.Now) needed to execute all live transactions, at least 1.
+func Estimate(in Input) core.Time {
+	best := core.Time(1)
+	// Requesters per object, restricted to the live set.
+	reqNodes := make(map[core.ObjID][]graph.NodeID)
+	for _, tx := range in.Txns {
+		for _, o := range tx.Objects {
+			reqNodes[o] = append(reqNodes[o], tx.Node)
+		}
+	}
+	wait := func(a Avail) core.Time {
+		if a.Free > in.Now {
+			return a.Free - in.Now
+		}
+		return 0
+	}
+	// Assembly bound.
+	for _, tx := range in.Txns {
+		for _, o := range tx.Objects {
+			a, ok := in.Avail[o]
+			if !ok {
+				continue
+			}
+			lb := wait(a) + core.Time(in.G.Dist(a.Node, tx.Node))
+			if lb > best {
+				best = lb
+			}
+		}
+	}
+	// Traversal bound.
+	for o, nodes := range reqNodes {
+		a, ok := in.Avail[o]
+		if !ok {
+			continue
+		}
+		pts := append([]graph.NodeID{a.Node}, nodes...)
+		lb := wait(a) + core.Time(in.G.MetricMST(pts))
+		if lb > best {
+			best = lb
+		}
+	}
+	return best
+}
+
+// SnapshotAvail builds the Avail map for the given live transactions from a
+// running simulation using *physical* object positions only: the node the
+// object sits at (free now), the endpoint of its current edge if in transit
+// (mid-edge motion is a physical commitment even for OPT), or its origin and
+// creation time if it does not exist yet. Schedule-induced constraints are
+// deliberately excluded — the optimal scheduler in the competitive-ratio
+// denominator may route objects differently than ours did, so only physics
+// may constrain it.
+func SnapshotAvail(s *core.Sim, txns []*core.Transaction) map[core.ObjID]Avail {
+	avail := make(map[core.ObjID]Avail)
+	for _, tx := range txns {
+		for _, o := range tx.Objects {
+			if _, ok := avail[o]; ok {
+				continue
+			}
+			obj := s.Instance().Objects[o]
+			if obj.Created > s.Now() {
+				avail[o] = Avail{Node: obj.Origin, Free: obj.Created}
+				continue
+			}
+			loc := s.ObjectLocation(o)
+			if loc.InTransit {
+				avail[o] = Avail{Node: loc.Next, Free: loc.Arrive}
+			} else {
+				avail[o] = Avail{Node: loc.Node, Free: s.Now()}
+			}
+		}
+	}
+	return avail
+}

@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+)
+
+// ClosedLoopConfig describes the paper's exact transaction issuing process
+// (Section III-C): every node holds one transaction at a time; one step
+// after a node's transaction commits, the node issues its next one. The
+// open-loop generators in internal/workload approximate this with fixed
+// arrival processes; RunClosedLoop runs the real thing.
+type ClosedLoopConfig struct {
+	// Objects are the shared objects, created up front.
+	Objects []*core.Object
+	// Rounds is how many transactions each node issues in total.
+	Rounds int
+	// Gen produces the (sorted, deduplicated) object set for the given
+	// node's round-r transaction. It must be deterministic.
+	Gen func(node graph.NodeID, round int) []core.ObjID
+	// Nodes restricts issuing to the first Nodes node IDs (0 = all).
+	Nodes int
+}
+
+// RunClosedLoop drives a scheduler under the closed-loop process and
+// returns the usual run result — snapshots taken at every distinct issue
+// time — together with the instance that the process generated.
+func RunClosedLoop(g *graph.Graph, cfg ClosedLoopConfig, s Scheduler, opts Options) (*RunResult, *core.Instance, error) {
+	if cfg.Rounds < 1 {
+		return nil, nil, fmt.Errorf("sched: closed loop needs Rounds >= 1")
+	}
+	if cfg.Gen == nil {
+		return nil, nil, fmt.Errorf("sched: closed loop needs a Gen function")
+	}
+	nodes := cfg.Nodes
+	if nodes == 0 {
+		nodes = g.N()
+	}
+	if nodes < 1 || nodes > g.N() {
+		return nil, nil, fmt.Errorf("sched: closed loop Nodes=%d out of range", nodes)
+	}
+	in := &core.Instance{G: g, Objects: cfg.Objects}
+	// Round 0: every issuing node holds one transaction at t=0.
+	for v := 0; v < nodes; v++ {
+		in.Txns = append(in.Txns, &core.Transaction{
+			ID:      core.TxID(v),
+			Node:    graph.NodeID(v),
+			Objects: cfg.Gen(graph.NodeID(v), 0),
+		})
+	}
+	sim, err := core.NewSim(in, opts.Sim)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := &Env{Sim: sim, G: g}
+	if err := s.Start(env); err != nil {
+		return nil, nil, fmt.Errorf("sched: %s start: %w", s.Name(), err)
+	}
+
+	round := make([]int, nodes) // next round to issue per node
+	waiting := make([]core.TxID, 0, nodes)
+	for v := range round {
+		round[v] = 1
+		waiting = append(waiting, core.TxID(v))
+	}
+	// pending issues: time -> nodes issuing then (round 0 is already in
+	// the instance and delivered below).
+	pendIssue := make(map[core.Time][]graph.NodeID)
+
+	var snaps []Snapshot
+	snapEvery := opts.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = 1
+	}
+	snapCount := 0
+
+	deliver := func(t core.Time, txns []*core.Transaction) error {
+		if snapEvery > 0 && snapCount%snapEvery == 0 {
+			snaps = append(snaps, TakeSnapshot(sim, t))
+		}
+		snapCount++
+		return s.OnArrive(txns)
+	}
+	if err := sim.AdvanceTo(0); err != nil {
+		return nil, nil, err
+	}
+	if err := deliver(0, in.Txns[:nodes]); err != nil {
+		return nil, nil, err
+	}
+
+	for guard := 0; ; guard++ {
+		if guard > 1<<24 {
+			return nil, nil, fmt.Errorf("sched: closed loop did not converge")
+		}
+		// Serve due scheduler wakes at the current time.
+		for wg := 0; ; wg++ {
+			if wg > 1<<20 {
+				return nil, nil, fmt.Errorf("sched: %s keeps requesting wake at t=%d without progress", s.Name(), sim.Now())
+			}
+			w, ok := s.NextWake()
+			if !ok || w > sim.Now() {
+				break
+			}
+			if err := s.OnWake(); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Finished?
+		if len(waiting) == 0 && len(pendIssue) == 0 {
+			break
+		}
+		// Next event: pending issue, scheduler wake, or sim event.
+		t := core.Time(-1)
+		take := func(x core.Time) {
+			if t < 0 || x < t {
+				t = x
+			}
+		}
+		for it := range pendIssue {
+			take(it)
+		}
+		if w, ok := s.NextWake(); ok {
+			take(w)
+		}
+		if st, ok := sim.NextInternalEvent(); ok {
+			take(st)
+		}
+		if t < 0 {
+			return nil, nil, fmt.Errorf("sched: %s stalled in closed loop at t=%d", s.Name(), sim.Now())
+		}
+		if err := sim.AdvanceTo(t); err != nil {
+			return nil, nil, err
+		}
+		// Completions: a node whose transaction executed issues its next
+		// transaction one step later.
+		stillWaiting := waiting[:0]
+		for _, id := range waiting {
+			if e, ok := sim.Executed(id); ok {
+				v := in.Txns[id].Node
+				if round[v] < cfg.Rounds {
+					at := e + 1
+					if at < sim.Now() {
+						at = sim.Now()
+					}
+					pendIssue[at] = append(pendIssue[at], v)
+				}
+			} else {
+				stillWaiting = append(stillWaiting, id)
+			}
+		}
+		waiting = stillWaiting
+		// Issue anything due now.
+		if issuers, ok := pendIssue[t]; ok {
+			delete(pendIssue, t)
+			sort.Slice(issuers, func(i, j int) bool { return issuers[i] < issuers[j] })
+			var newTxns []*core.Transaction
+			for _, v := range issuers {
+				tx := &core.Transaction{
+					ID:      core.TxID(len(in.Txns)),
+					Node:    v,
+					Arrival: t,
+					Objects: cfg.Gen(v, round[v]),
+				}
+				round[v]++
+				if err := sim.AddTransaction(tx); err != nil {
+					return nil, nil, err
+				}
+				waiting = append(waiting, tx.ID)
+				newTxns = append(newTxns, tx)
+			}
+			if err := deliver(t, newTxns); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, tx := range in.Txns {
+		if _, ok := sim.Scheduled(tx.ID); !ok {
+			return nil, nil, fmt.Errorf("sched: %s never scheduled transaction %d", s.Name(), tx.ID)
+		}
+	}
+	if err := sim.RunToCompletion(); err != nil {
+		return nil, nil, err
+	}
+	return BuildResult(sim, s.Name()+"/closed-loop", snaps), in, nil
+}

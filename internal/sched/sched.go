@@ -1,0 +1,265 @@
+// Package sched defines the online scheduler interface and the simulation
+// driver that binds a scheduler to an instance, runs the synchronous model
+// to completion, and measures the empirical competitive ratio of
+// Definition 1 in Busch et al. (IPPS 2020).
+//
+// The driver realizes the "central authority with instant knowledge"
+// abstraction of Sections III and IV: the scheduler observes arrivals and
+// object positions with zero latency. The decentralized protocols of
+// Section V are built separately on internal/distnet and internal/distbucket
+// and pay explicit message latencies.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/lowerbound"
+)
+
+// Env gives a scheduler oracle access to the running simulation.
+type Env struct {
+	Sim *core.Sim
+	G   *graph.Graph
+}
+
+// Scheduler is an online transaction scheduling algorithm. Implementations
+// assign irrevocable execution times via Env.Sim.Decide, either immediately
+// in OnArrive (greedy) or later from OnWake (bucket activations, epoch
+// boundaries).
+type Scheduler interface {
+	Name() string
+	// Start binds the scheduler to a run; called once before any arrivals.
+	Start(env *Env) error
+	// OnArrive delivers the transactions generated at the current time.
+	OnArrive(txns []*core.Transaction) error
+	// NextWake returns the next time OnWake should run, if the scheduler
+	// has deferred work pending.
+	NextWake() (core.Time, bool)
+	// OnWake runs deferred work at the time previously returned by NextWake.
+	OnWake() error
+}
+
+// Snapshot captures the live state at one observation time; ratios are
+// computed post-hoc once every execution time is known.
+type Snapshot struct {
+	At   core.Time
+	Live []core.TxID
+	LB   core.Time // lower bound on the optimal duration t* from At
+}
+
+// RatioPoint is a finished snapshot: the empirical competitive ratio at one
+// observation time.
+type RatioPoint struct {
+	At       core.Time
+	LiveTxns int
+	MaxRem   core.Time // max remaining duration over live transactions
+	LB       core.Time
+	Ratio    float64 // MaxRem / LB
+}
+
+// RunResult bundles the execution metrics with the competitive-ratio trace.
+type RunResult struct {
+	*core.Result
+	Scheduler string
+	Ratios    []RatioPoint
+	MaxRatio  float64
+	// Decisions is the full decision log (sorted by decision time), enough
+	// to replay and re-validate the run with core.Replay.
+	Decisions []core.Decision
+}
+
+// Options configure a driver run.
+type Options struct {
+	Sim core.SimOptions
+	// SnapshotEvery takes a competitive-ratio snapshot at every k-th
+	// distinct arrival time (0 or 1 = every one; <0 disables snapshots).
+	SnapshotEvery int
+}
+
+// Run executes the scheduler against the instance to completion and
+// computes the competitive-ratio trace.
+func Run(in *core.Instance, s Scheduler, opts Options) (*RunResult, error) {
+	sim, err := core.NewSim(in, opts.Sim)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{Sim: sim, G: in.G}
+	if err := s.Start(env); err != nil {
+		return nil, fmt.Errorf("sched: %s start: %w", s.Name(), err)
+	}
+	arrivals := in.ArrivalTimes()
+	var snaps []Snapshot
+	snapEvery := opts.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = 1
+	}
+
+	ai := 0
+	for {
+		// Next external event: an arrival or a scheduler wake-up.
+		var next core.Time
+		have := false
+		if ai < len(arrivals) {
+			next, have = arrivals[ai], true
+		}
+		if w, ok := s.NextWake(); ok && (!have || w < next) {
+			next, have = w, true
+		}
+		if !have {
+			break
+		}
+		if err := sim.AdvanceTo(next); err != nil {
+			return failedResult(sim, s, snaps), err
+		}
+		isArrival := ai < len(arrivals) && arrivals[ai] == next
+		if isArrival {
+			if snapEvery > 0 && ai%snapEvery == 0 {
+				snaps = append(snaps, TakeSnapshot(sim, next))
+			}
+			if err := s.OnArrive(in.TxnsArriving(next)); err != nil {
+				return failedResult(sim, s, snaps), fmt.Errorf("sched: %s OnArrive(t=%d): %w", s.Name(), next, err)
+			}
+			ai++
+		}
+		// Serve any wake-ups due now (possibly triggered by the arrival).
+		for guard := 0; ; guard++ {
+			if guard > 1<<20 {
+				return failedResult(sim, s, snaps), fmt.Errorf("sched: %s keeps requesting wake at t=%d without progress", s.Name(), next)
+			}
+			w, ok := s.NextWake()
+			if !ok || w > next {
+				break
+			}
+			if w < next {
+				return failedResult(sim, s, snaps), fmt.Errorf("sched: %s requested wake at t=%d in the past (now t=%d)", s.Name(), w, next)
+			}
+			if err := s.OnWake(); err != nil {
+				return failedResult(sim, s, snaps), fmt.Errorf("sched: %s OnWake(t=%d): %w", s.Name(), next, err)
+			}
+		}
+	}
+	// All arrivals delivered and no wakes pending: every transaction must
+	// have a decision by now.
+	for _, tx := range in.Txns {
+		if _, ok := sim.Scheduled(tx.ID); !ok {
+			return failedResult(sim, s, snaps), fmt.Errorf("sched: %s never scheduled transaction %d", s.Name(), tx.ID)
+		}
+	}
+	if err := sim.RunToCompletion(); err != nil {
+		return failedResult(sim, s, snaps), err
+	}
+	return finishResult(sim, s, snaps), nil
+}
+
+// TakeSnapshot records the live set and the OPT lower bound at time t.
+// Live means arrived but not yet executed (a transaction executing exactly
+// at t is included; its remaining duration is 0). The distributed drivers
+// share it so all schedulers are measured identically.
+func TakeSnapshot(sim *core.Sim, t core.Time) Snapshot {
+	in := sim.Instance()
+	var live []*core.Transaction
+	for _, tx := range in.Txns {
+		if tx.Arrival > t {
+			continue
+		}
+		if et, ok := sim.Executed(tx.ID); ok && et < t {
+			continue
+		}
+		live = append(live, tx)
+	}
+	ids := make([]core.TxID, len(live))
+	for i, tx := range live {
+		ids[i] = tx.ID
+	}
+	lb := lowerbound.Estimate(lowerbound.Input{
+		G:     in.G,
+		Now:   t,
+		Txns:  live,
+		Avail: lowerbound.SnapshotAvail(sim, live),
+	})
+	return Snapshot{At: t, Live: ids, LB: lb}
+}
+
+func finishResult(sim *core.Sim, s Scheduler, snaps []Snapshot) *RunResult {
+	return BuildResult(sim, s.Name(), snaps)
+}
+
+// BuildResult computes the competitive-ratio trace from snapshots once
+// every execution time is known, and bundles the run metrics.
+func BuildResult(sim *core.Sim, name string, snaps []Snapshot) *RunResult {
+	rr := &RunResult{Result: sim.Result(), Scheduler: name}
+	for _, tx := range sim.Instance().Txns {
+		exec, ok := sim.Scheduled(tx.ID)
+		if !ok {
+			continue
+		}
+		at, _ := sim.DecidedAt(tx.ID)
+		rr.Decisions = append(rr.Decisions, core.Decision{Tx: tx.ID, Exec: exec, At: at})
+	}
+	sort.SliceStable(rr.Decisions, func(i, j int) bool { return rr.Decisions[i].At < rr.Decisions[j].At })
+	for _, sn := range snaps {
+		var maxRem core.Time
+		for _, id := range sn.Live {
+			exec, ok := sim.Scheduled(id)
+			if !ok {
+				continue // failed run: unscheduled live transaction
+			}
+			if rem := exec - sn.At; rem > maxRem {
+				maxRem = rem
+			}
+		}
+		rp := RatioPoint{
+			At:       sn.At,
+			LiveTxns: len(sn.Live),
+			MaxRem:   maxRem,
+			LB:       sn.LB,
+			Ratio:    float64(maxRem) / float64(sn.LB),
+		}
+		rr.Ratios = append(rr.Ratios, rp)
+		if rp.Ratio > rr.MaxRatio {
+			rr.MaxRatio = rp.Ratio
+		}
+	}
+	return rr
+}
+
+func failedResult(sim *core.Sim, s Scheduler, snaps []Snapshot) *RunResult {
+	return finishResult(sim, s, snaps)
+}
+
+// MeanRatio returns the mean of the per-snapshot competitive ratios.
+func (rr *RunResult) MeanRatio() float64 {
+	if len(rr.Ratios) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rr.Ratios {
+		sum += r.Ratio
+	}
+	return sum / float64(len(rr.Ratios))
+}
+
+// P95Ratio returns the 95th-percentile per-snapshot ratio.
+func (rr *RunResult) P95Ratio() float64 {
+	if len(rr.Ratios) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(rr.Ratios))
+	for i, r := range rr.Ratios {
+		xs[i] = r.Ratio
+	}
+	sort.Float64s(xs)
+	// Nearest-rank: the smallest value with at least 95% of the sample at
+	// or below it.
+	i := (len(xs)*95+99)/100 - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/workload"
+)
+
+// serialScheduler schedules each arrival at a fixed offset past a running
+// horizon — always feasible, never clever. It exercises the driver.
+type serialScheduler struct {
+	env     *Env
+	horizon core.Time
+	gap     core.Time
+}
+
+func (s *serialScheduler) Name() string { return "serial" }
+func (s *serialScheduler) Start(env *Env) error {
+	s.env = env
+	if s.gap == 0 {
+		s.gap = core.Time(env.G.Diameter()) + 1
+	}
+	return nil
+}
+func (s *serialScheduler) OnArrive(txns []*core.Transaction) error {
+	now := s.env.Sim.Now()
+	if s.horizon < now {
+		s.horizon = now
+	}
+	for _, tx := range txns {
+		s.horizon += s.gap
+		if err := s.env.Sim.Decide(tx.ID, s.horizon); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (s *serialScheduler) NextWake() (core.Time, bool) { return 0, false }
+func (s *serialScheduler) OnWake() error               { return nil }
+
+// wakeSpinner requests a wake at the current time forever.
+type wakeSpinner struct{ env *Env }
+
+func (s *wakeSpinner) Name() string                       { return "spinner" }
+func (s *wakeSpinner) Start(env *Env) error               { s.env = env; return nil }
+func (s *wakeSpinner) OnArrive([]*core.Transaction) error { return nil }
+func (s *wakeSpinner) NextWake() (core.Time, bool)        { return s.env.Sim.Now(), true }
+func (s *wakeSpinner) OnWake() error                      { return nil }
+
+func testInstance(t *testing.T, n int) *core.Instance {
+	t.Helper()
+	g, err := graph.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workload.Generate(g, workload.Config{
+		K: 2, NumObjects: 5, Rounds: 2,
+		Arrival: workload.ArrivalPeriodic, Period: 3, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestDriverRunsSerialScheduler(t *testing.T) {
+	in := testInstance(t, 10)
+	rr, err := Run(in, &serialScheduler{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Makespan <= 0 {
+		t.Error("no makespan")
+	}
+	if len(rr.Decisions) != len(in.Txns) {
+		t.Errorf("decision log has %d entries, want %d", len(rr.Decisions), len(in.Txns))
+	}
+	for i := 1; i < len(rr.Decisions); i++ {
+		if rr.Decisions[i].At < rr.Decisions[i-1].At {
+			t.Fatal("decision log not sorted by decision time")
+		}
+	}
+	// The decision log must replay cleanly.
+	if _, err := core.Replay(in, rr.Decisions, core.SimOptions{}); err != nil {
+		t.Fatalf("decision log does not replay: %v", err)
+	}
+}
+
+func TestDriverDetectsWakeSpin(t *testing.T) {
+	in := testInstance(t, 6)
+	if _, err := Run(in, &wakeSpinner{}, Options{}); err == nil {
+		t.Fatal("wake spinner should be detected")
+	}
+}
+
+func TestSnapshotEvery(t *testing.T) {
+	in := testInstance(t, 10)
+	all, err := Run(in, &serialScheduler{}, Options{SnapshotEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := Run(in, &serialScheduler{}, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Ratios) == 0 {
+		t.Error("expected snapshots at every arrival")
+	}
+	if len(none.Ratios) != 0 {
+		t.Error("SnapshotEvery<0 should disable snapshots")
+	}
+	some, err := Run(in, &serialScheduler{}, Options{SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some.Ratios) >= len(all.Ratios) {
+		t.Errorf("sampling did not reduce snapshots: %d vs %d", len(some.Ratios), len(all.Ratios))
+	}
+}
+
+func TestRatioHelpers(t *testing.T) {
+	rr := &RunResult{Ratios: []RatioPoint{{Ratio: 1}, {Ratio: 3}, {Ratio: 2}}}
+	if m := rr.MeanRatio(); m != 2 {
+		t.Errorf("MeanRatio = %v, want 2", m)
+	}
+	if p := rr.P95Ratio(); p != 3 {
+		t.Errorf("P95Ratio = %v, want 3", p)
+	}
+	empty := &RunResult{}
+	if empty.MeanRatio() != 0 || empty.P95Ratio() != 0 {
+		t.Error("empty ratio helpers should be zero")
+	}
+}
+
+func TestClosedLoopSerial(t *testing.T) {
+	g, err := graph.Clique(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects := make([]*core.Object, 6)
+	for i := range objects {
+		objects[i] = &core.Object{ID: core.ObjID(i), Origin: graph.NodeID(i)}
+	}
+	rounds := 3
+	gen := func(node graph.NodeID, round int) []core.ObjID {
+		return []core.ObjID{core.ObjID((int(node) + round) % len(objects))}
+	}
+	rr, _, err := RunClosedLoop(g, ClosedLoopConfig{
+		Objects: objects, Rounds: rounds, Gen: gen,
+	}, &serialScheduler{gap: 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTxns := 6 * rounds
+	if len(rr.Decisions) != wantTxns {
+		t.Errorf("decisions = %d, want %d (every node issues every round)", len(rr.Decisions), wantTxns)
+	}
+	if rr.Makespan <= 0 {
+		t.Error("no makespan")
+	}
+}
+
+// Closed loop invariant: a node never has two live transactions — the next
+// one is issued only after the previous commits.
+func TestClosedLoopOneLiveTransactionPerNode(t *testing.T) {
+	g, err := graph.Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects := []*core.Object{{ID: 0, Origin: 0}, {ID: 1, Origin: 4}}
+	gen := func(node graph.NodeID, round int) []core.ObjID {
+		if (int(node)+round)%2 == 0 {
+			return []core.ObjID{0}
+		}
+		return []core.ObjID{1}
+	}
+	rr, in, err := RunClosedLoop(g, ClosedLoopConfig{
+		Objects: objects, Rounds: 4, Gen: gen,
+	}, &serialScheduler{gap: 11}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Txns) != 5*4 {
+		t.Fatalf("instance has %d transactions, want 20", len(in.Txns))
+	}
+	// Per-node intervals: each round's arrival must be strictly after the
+	// previous round's execution.
+	exec := map[core.TxID]core.Time{}
+	for _, d := range rr.Decisions {
+		exec[d.Tx] = d.Exec
+	}
+	type iv struct{ arr, exec core.Time }
+	perNode := map[graph.NodeID][]iv{}
+	for _, tx := range in.Txns {
+		perNode[tx.Node] = append(perNode[tx.Node], iv{arr: tx.Arrival, exec: exec[tx.ID]})
+	}
+	for node, ivs := range perNode {
+		if len(ivs) != 4 {
+			t.Fatalf("node %d issued %d transactions, want 4", node, len(ivs))
+		}
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].arr <= ivs[i-1].exec {
+				t.Fatalf("node %d issued round %d at t=%d before round %d committed at t=%d",
+					node, i, ivs[i].arr, i-1, ivs[i-1].exec)
+			}
+		}
+	}
+}
+
+func TestClosedLoopValidation(t *testing.T) {
+	g, _ := graph.Line(4)
+	objs := []*core.Object{{ID: 0, Origin: 0}}
+	gen := func(graph.NodeID, int) []core.ObjID { return []core.ObjID{0} }
+	cases := []ClosedLoopConfig{
+		{Objects: objs, Rounds: 0, Gen: gen},
+		{Objects: objs, Rounds: 1, Gen: nil},
+		{Objects: objs, Rounds: 1, Gen: gen, Nodes: 99},
+	}
+	for i, cfg := range cases {
+		if _, _, err := RunClosedLoop(g, cfg, &serialScheduler{}, Options{}); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestEnvString(t *testing.T) {
+	// Smoke-test that scheduler names flow into results.
+	in := testInstance(t, 6)
+	rr, err := Run(in, &serialScheduler{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Scheduler != "serial" {
+		t.Errorf("scheduler name = %q", rr.Scheduler)
+	}
+	_ = fmt.Sprint(rr.MaxRatio)
+}

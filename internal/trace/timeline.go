@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline renders a human-readable per-object itinerary of the recorded
+// run: for each object, the sequence of users in execution order with
+// their nodes and times. Useful for debugging schedules and in examples.
+func (r *Run) Timeline() string {
+	type visit struct {
+		tx   int
+		node int
+		exec int64
+	}
+	perObj := make(map[int][]visit)
+	exec := make(map[int]int64, len(r.Decisions))
+	for _, d := range r.Decisions {
+		exec[int(d.Tx)] = int64(d.Exec)
+	}
+	for i, tx := range r.Txns {
+		for _, o := range tx.Objects {
+			perObj[int(o)] = append(perObj[int(o)], visit{tx: i, node: int(tx.Node), exec: exec[i]})
+		}
+	}
+	objs := make([]int, 0, len(perObj))
+	for o := range perObj {
+		objs = append(objs, o)
+	}
+	sort.Ints(objs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %s on %s (makespan %d)\n", r.Scheduler, r.Topology, r.Makespan)
+	for _, o := range objs {
+		vs := perObj[o]
+		sort.Slice(vs, func(i, j int) bool {
+			if vs[i].exec != vs[j].exec {
+				return vs[i].exec < vs[j].exec
+			}
+			return vs[i].tx < vs[j].tx
+		})
+		fmt.Fprintf(&b, "obj %-3d @n%-3d", o, r.Objects[o].Origin)
+		for _, v := range vs {
+			fmt.Fprintf(&b, " -> tx%d@n%d t=%d", v.tx, v.node, v.exec)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

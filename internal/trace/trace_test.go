@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/greedy"
+	"dtm/internal/sched"
+	"dtm/internal/workload"
+)
+
+func captureRun(t *testing.T) (*core.Instance, *Run) {
+	t.Helper()
+	g, err := graph.Line(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workload.Generate(g, workload.Config{
+		K: 2, NumObjects: 5, Rounds: 2,
+		Arrival: workload.ArrivalPeriodic, Period: 4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := sched.Run(in, greedy.New(greedy.Options{}), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, Capture(in, rr, 1)
+}
+
+func TestCaptureAndValidate(t *testing.T) {
+	_, r := captureRun(t)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("captured run fails validation: %v", err)
+	}
+	if len(r.Decisions) != len(r.Txns) {
+		t.Errorf("decisions %d != txns %d", len(r.Decisions), len(r.Txns))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	_, r := captureRun(t)
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Validate(); err != nil {
+		t.Fatalf("round-tripped run fails validation: %v", err)
+	}
+	if r2.Makespan != r.Makespan || r2.Scheduler != r.Scheduler || len(r2.Edges) != len(r.Edges) {
+		t.Error("round trip lost data")
+	}
+}
+
+func TestValidateCatchesTampering(t *testing.T) {
+	_, r := captureRun(t)
+	// Move an execution earlier than physics allows.
+	r.Decisions[len(r.Decisions)-1].Exec = 0
+	if err := r.Validate(); err == nil {
+		t.Fatal("tampered trace should fail validation")
+	}
+}
+
+func TestValidateCatchesWrongMakespan(t *testing.T) {
+	_, r := captureRun(t)
+	r.Makespan += 5
+	if err := r.Validate(); err == nil {
+		t.Fatal("wrong recorded makespan should fail validation")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("garbage input: want error")
+	}
+}
