@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test check vet fmt race bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# check is the CI gate: static checks plus the race detector over the
+# concurrent engines (parallel distnet + the distributed protocol).
+check: vet fmt race test
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race ./internal/distnet/... ./internal/distbucket/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

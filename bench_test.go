@@ -180,7 +180,8 @@ func BenchmarkDistributedProtocolCPU(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := RunDistributed(in, DistributedOptions{
-					Batch: batch.Tour{}, Seed: 7, Parallel: par, SnapshotEvery: -1,
+					Options: RunOptions{SnapshotEvery: -1},
+					Batch:   batch.Tour{}, Seed: 7, Parallel: par,
 				}); err != nil {
 					b.Fatal(err)
 				}

@@ -12,17 +12,19 @@ import (
 	"fmt"
 	"os"
 
+	"dtm"
 	"dtm/internal/experiments"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments")
-		exp   = flag.String("exp", "", "experiment ID to run (e.g. F1, T3)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "smaller sweeps")
-		seed  = flag.Int64("seed", 42, "random seed")
-		csv   = flag.Bool("csv", false, "emit CSV")
+		list    = flag.Bool("list", false, "list experiments")
+		exp     = flag.String("exp", "", "experiment ID to run (e.g. F1, T3)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "smaller sweeps")
+		seed    = flag.Int64("seed", 42, "random seed")
+		csv     = flag.Bool("csv", false, "emit CSV")
+		metrics = flag.Bool("metrics", false, "print a JSON metrics report per experiment")
 	)
 	flag.Parse()
 	switch {
@@ -32,7 +34,7 @@ func main() {
 		}
 	case *all:
 		for _, e := range experiments.All {
-			if err := runOne(e, *quick, *seed, *csv); err != nil {
+			if err := runOne(e, *quick, *seed, *csv, *metrics); err != nil {
 				fmt.Fprintln(os.Stderr, "dtmbench:", err)
 				os.Exit(1)
 			}
@@ -43,7 +45,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dtmbench: unknown experiment %q (use -list)\n", *exp)
 			os.Exit(1)
 		}
-		if err := runOne(e, *quick, *seed, *csv); err != nil {
+		if err := runOne(e, *quick, *seed, *csv, *metrics); err != nil {
 			fmt.Fprintln(os.Stderr, "dtmbench:", err)
 			os.Exit(1)
 		}
@@ -53,14 +55,25 @@ func main() {
 	}
 }
 
-func runOne(e experiments.Experiment, quick bool, seed int64, csv bool) error {
-	tb, err := e.Run(experiments.Config{Quick: quick, Seed: seed})
+func runOne(e experiments.Experiment, quick bool, seed int64, csv, metrics bool) error {
+	cfg := experiments.Config{Quick: quick, Seed: seed}
+	if metrics {
+		cfg.Obs = dtm.NewMetrics()
+	}
+	tb, err := e.Run(cfg)
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.ID, err)
 	}
 	fmt.Printf("\n[%s] %s\n# claim: %s\n", e.ID, e.Title, e.Claim)
 	if csv {
-		return tb.RenderCSV(os.Stdout)
+		if err := tb.RenderCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := tb.Render(os.Stdout); err != nil {
+		return err
 	}
-	return tb.Render(os.Stdout)
+	if metrics {
+		return cfg.Obs.Snapshot().WriteJSON(os.Stdout)
+	}
+	return nil
 }

@@ -6,8 +6,9 @@
 //
 //	dtmsim -topology clique -n 64 -sched greedy -k 4 -rounds 4
 //	dtmsim -topology line -n 128 -sched bucket-tour -k 2 -arrival poisson -period 8
-//	dtmsim -topology cluster -alpha 8 -beta 8 -gamma 8 -sched distributed
+//	dtmsim -topology cluster -alpha 8 -beta 8 -gamma 8 -sched distributed -metrics
 //	dtmsim -topology hypercube -dim 6 -sched coordinator -trace run.json
+//	dtmsim -sched greedy -metrics -events run.jsonl
 package main
 
 import (
@@ -42,6 +43,8 @@ func main() {
 		capacity = flag.Int("capacity", 0, "bounded link capacity (0 = unbounded; implies elastic commits)")
 		traceOut = flag.String("trace", "", "write a re-validatable JSON trace to this file")
 		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		metrics  = flag.Bool("metrics", false, "collect run metrics and print a JSON report")
+		events   = flag.String("events", "", "stream observability events as JSON lines to this file")
 	)
 	flag.Parse()
 	if err := run(params{
@@ -50,6 +53,7 @@ func main() {
 		sched: *schedArg, k: *k, objects: *objects, rounds: *rounds,
 		arrival: *arrival, period: *period, seed: *seed, hub: *hub,
 		capacity: *capacity, traceOut: *traceOut, csv: *csv,
+		metrics: *metrics, eventsOut: *events,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dtmsim:", err)
 		os.Exit(1)
@@ -68,6 +72,8 @@ type params struct {
 	capacity                  int
 	traceOut                  string
 	csv                       bool
+	metrics                   bool
+	eventsOut                 string
 }
 
 func buildGraph(p params) (*dtm.Graph, error) {
@@ -148,8 +154,32 @@ func run(p params) error {
 		return t.Render(os.Stdout)
 	}
 
+	// One registry covers whichever driver runs below; -events implies
+	// collection so the sink has something to stream.
+	var m *dtm.Metrics
+	if p.metrics || p.eventsOut != "" {
+		m = dtm.NewMetrics()
+		if p.eventsOut != "" {
+			f, err := os.Create(p.eventsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			m.SetSink(dtm.NewJSONLSink(f))
+		}
+	}
+	report := func(snap *dtm.MetricsSnapshot) error {
+		if !p.metrics {
+			return nil
+		}
+		return snap.WriteJSON(os.Stdout)
+	}
+
 	if p.sched == "distributed" {
-		res, err := dtm.RunDistributed(in, dtm.DistributedOptions{Batch: batch.Tour{}, Seed: p.seed, Parallel: true})
+		res, err := dtm.RunDistributed(in, dtm.DistributedOptions{
+			Options: dtm.RunOptions{Obs: m},
+			Batch:   batch.Tour{}, Seed: p.seed, Parallel: true,
+		})
 		if err != nil {
 			return err
 		}
@@ -161,7 +191,7 @@ func run(p params) error {
 		}
 		fmt.Printf("protocol: %d messages, %d message-distance, %d cover layers, %d sub-layers, audit %+v\n",
 			res.Messages, res.MsgDistance, res.CoverLayers, res.SubLayers, res.Audit)
-		return nil
+		return report(res.Metrics)
 	}
 
 	var s dtm.Scheduler
@@ -179,7 +209,7 @@ func run(p params) error {
 	default:
 		return fmt.Errorf("unknown scheduler %q", p.sched)
 	}
-	runOpts := dtm.RunOptions{}
+	runOpts := dtm.RunOptions{Obs: m}
 	if p.capacity > 0 {
 		runOpts.Sim = dtm.SimOptions{LinkCapacity: p.capacity, ElasticExec: true}
 	}
@@ -211,5 +241,5 @@ func run(p params) error {
 		}
 		fmt.Printf("trace written to %s (re-validated)\n", p.traceOut)
 	}
-	return nil
+	return report(rr.Metrics)
 }

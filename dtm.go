@@ -34,6 +34,8 @@
 package dtm
 
 import (
+	"io"
+
 	"dtm/internal/batch"
 	"dtm/internal/bucket"
 	"dtm/internal/core"
@@ -42,6 +44,7 @@ import (
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
 	"dtm/internal/lowerbound"
+	"dtm/internal/obs"
 	"dtm/internal/sched"
 	"dtm/internal/trace"
 	"dtm/internal/workload"
@@ -79,6 +82,9 @@ type (
 type (
 	// Scheduler is an online scheduling algorithm driven by Run.
 	Scheduler = sched.Scheduler
+	// SchedulerEnv is the oracle access a Scheduler receives in Start,
+	// for implementing custom schedulers against Run.
+	SchedulerEnv = sched.Env
 	// RunOptions configure Run.
 	RunOptions = sched.Options
 	// RunResult bundles execution metrics with the competitive-ratio trace.
@@ -105,6 +111,29 @@ type (
 	// CoverHierarchy is the Section V hierarchical sparse cover.
 	CoverHierarchy = cover.Hierarchy
 )
+
+// Observability types. A Metrics registry passed via RunOptions.Obs (or
+// DistributedOptions.Obs) collects counters, gauges, and histograms across
+// the driver, the engine, and the scheduler; the result carries the final
+// MetricsSnapshot. A Sink additionally streams per-event records.
+type (
+	// Metrics is the run-wide observability registry; nil disables
+	// collection at the cost of one nil-check per instrument site.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is the exported, serializable state of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// MetricsEvent is one streamed observability event.
+	MetricsEvent = obs.Event
+	// Sink consumes streamed observability events.
+	Sink = obs.Sink
+)
+
+// NewMetrics returns an empty observability registry to pass in
+// RunOptions.Obs or DistributedOptions.Obs.
+func NewMetrics() *Metrics { return obs.New() }
+
+// NewJSONLSink returns a Sink writing each event as one JSON line.
+func NewJSONLSink(w io.Writer) Sink { return obs.NewJSONLSink(w) }
 
 // Workload knobs re-exported for WorkloadConfig.
 const (

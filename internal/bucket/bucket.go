@@ -20,6 +20,7 @@ import (
 	"dtm/internal/batch"
 	"dtm/internal/core"
 	"dtm/internal/graph"
+	"dtm/internal/obs"
 	"dtm/internal/sched"
 )
 
@@ -72,6 +73,13 @@ type Bucket struct {
 	env    *sched.Env
 	levels [][]pending
 	audit  Audit
+
+	// Instrument handles; nil (free) when observability is disabled.
+	metInserted    *obs.Counter   // bucket.insertions
+	metOverflow    *obs.Counter   // bucket.overflows
+	metActivations *obs.Counter   // bucket.activations
+	metScheduled   *obs.Counter   // bucket.scheduled
+	metLevel       *obs.Histogram // bucket.level: insertion level
 }
 
 // New returns a bucket scheduler converting the given batch algorithm.
@@ -99,6 +107,11 @@ func (b *Bucket) Start(env *sched.Env) error {
 		return fmt.Errorf("bucket: no batch scheduler configured")
 	}
 	b.env = env
+	b.metInserted = env.Obs.Counter("bucket.insertions")
+	b.metOverflow = env.Obs.Counter("bucket.overflows")
+	b.metActivations = env.Obs.Counter("bucket.activations")
+	b.metScheduled = env.Obs.Counter("bucket.scheduled")
+	b.metLevel = env.Obs.Histogram("bucket.level", obs.PowersOfTwo(6))
 	max := b.opts.MaxLevel
 	if max <= 0 {
 		nd := uint64(env.G.N()) * uint64(env.G.Diameter()) * uint64(b.opts.slow())
@@ -143,6 +156,7 @@ func (b *Bucket) OnArrive(txns []*core.Transaction) error {
 			// live transaction per node); stay safe in the top bucket.
 			b.insert(len(b.levels)-1, tx, now)
 			b.audit.Overflowed++
+			b.metOverflow.Inc()
 		}
 	}
 	return nil
@@ -152,6 +166,8 @@ func (b *Bucket) insert(level int, tx *core.Transaction, now core.Time) {
 	b.levels[level] = append(b.levels[level], pending{tx: tx, since: now})
 	b.audit.Inserted++
 	b.audit.LevelCounts[level]++
+	b.metInserted.Inc()
+	b.metLevel.Observe(int64(level))
 	if level > b.audit.MaxLevelUsed {
 		b.audit.MaxLevelUsed = level
 	}
@@ -198,6 +214,7 @@ func (b *Bucket) activate(level int, now core.Time) error {
 	pds := b.levels[level]
 	b.levels[level] = nil
 	b.audit.Activations++
+	b.metActivations.Inc()
 	txns := make([]*core.Transaction, len(pds))
 	for i, pd := range pds {
 		txns[i] = pd.tx
@@ -218,6 +235,7 @@ func (b *Bucket) activate(level int, now core.Time) error {
 			return err
 		}
 		b.audit.Scheduled++
+		b.metScheduled.Inc()
 		bound := core.Time(level+1) * (1 << uint(level+2))
 		if exec-pd.since <= bound {
 			b.audit.WithinLemma4++

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"dtm/internal/graph"
+	"dtm/internal/obs"
 )
 
 // SimOptions configure a Sim.
@@ -28,6 +29,47 @@ type SimOptions struct {
 	// time at which all its objects are present. Latencies then include
 	// congestion delay.
 	ElasticExec bool
+	// Obs, when set, collects engine metrics (decisions, object moves and
+	// hop distances, commits, live-set size) and streams fine-grained
+	// events to its sink. Nil disables instrumentation at the cost of one
+	// nil-check per event site.
+	Obs *obs.Metrics
+}
+
+// simMetrics holds the engine's pre-resolved instrument handles. All are
+// nil when observability is disabled; every method on a nil handle is a
+// no-op.
+type simMetrics struct {
+	decisions  *obs.Counter   // core.decisions: Decide calls accepted
+	commits    *obs.Counter   // core.commits: transactions executed
+	violations *obs.Counter   // core.violations: infeasible schedules caught
+	moves      *obs.Counter   // core.object_moves: edge traversals started
+	travel     *obs.Counter   // core.travel_weight: total distance traveled
+	hops       *obs.Histogram // core.hop_weight: per-traversal edge weight
+	latency    *obs.Histogram // core.commit_latency: commit - arrival
+	live       *obs.Gauge     // core.live_txns: decided but not committed
+	linkQueued *obs.Counter   // core.link_queued: waits at saturated links
+	elastic    *obs.Counter   // core.elastic_waits: commits past decided time
+	added      *obs.Counter   // core.txns_added: closed-loop AddTransaction calls
+}
+
+func newSimMetrics(m *obs.Metrics) simMetrics {
+	if m == nil {
+		return simMetrics{}
+	}
+	return simMetrics{
+		decisions:  m.Counter("core.decisions"),
+		commits:    m.Counter("core.commits"),
+		violations: m.Counter("core.violations"),
+		moves:      m.Counter("core.object_moves"),
+		travel:     m.Counter("core.travel_weight"),
+		hops:       m.Histogram("core.hop_weight", obs.PowersOfTwo(12)),
+		latency:    m.Histogram("core.commit_latency", obs.PowersOfTwo(16)),
+		live:       m.Gauge("core.live_txns"),
+		linkQueued: m.Counter("core.link_queued"),
+		elastic:    m.Counter("core.elastic_waits"),
+		added:      m.Counter("core.txns_added"),
+	}
 }
 
 func (o SimOptions) slow() graph.Weight {
@@ -143,6 +185,9 @@ type Sim struct {
 	dirty  map[ObjID]bool
 	failed error
 
+	obs *obs.Metrics
+	met simMetrics
+
 	// Bounded-capacity links (SimOptions.LinkCapacity).
 	edgeBusy  map[edgeKey]int
 	edgeQueue map[edgeKey][]ObjID
@@ -168,6 +213,8 @@ func NewSim(in *Instance, opts SimOptions) (*Sim, error) {
 		edgeBusy:  make(map[edgeKey]int),
 		edgeQueue: make(map[edgeKey][]ObjID),
 		due:       make(map[TxID]bool),
+		obs:       opts.Obs,
+		met:       newSimMetrics(opts.Obs),
 	}
 	for i := range s.exec {
 		s.exec[i] = -1
@@ -225,6 +272,7 @@ func (s *Sim) AddTransaction(tx *Transaction) error {
 	s.decidedAt = append(s.decidedAt, -1)
 	s.done = append(s.done, false)
 	s.doneAt = append(s.doneAt, 0)
+	s.met.added.Inc()
 	return nil
 }
 
@@ -253,6 +301,11 @@ func (s *Sim) Decide(tx TxID, exec Time) error {
 	}
 	s.exec[tx] = exec
 	s.decidedAt[tx] = s.now
+	s.met.decisions.Inc()
+	s.met.live.Add(1)
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{At: int64(s.now), Kind: "decide", Tx: int(tx), Node: int(t.Node), Value: int64(exec)})
+	}
 	s.push(event{at: exec, prio: prioExec, id: int(tx)})
 	for _, o := range t.Objects {
 		s.insertPending(o, tx)
@@ -359,8 +412,10 @@ func (s *Sim) executeTx(tx TxID) error {
 		if s.opts.ElasticExec {
 			// Wait for the stragglers; attemptDue retries as objects land.
 			s.due[tx] = true
+			s.met.elastic.Inc()
 			return nil
 		}
+		s.met.violations.Inc()
 		return &ViolationError{Tx: tx, Obj: o, At: s.now, Detail: detail}
 	}
 	s.commitTx(tx)
@@ -376,6 +431,13 @@ func (s *Sim) commitTx(tx TxID) {
 	s.doneAt[tx] = s.now
 	s.doneCount++
 	delete(s.due, tx)
+	s.met.commits.Inc()
+	s.met.live.Add(-1)
+	s.met.latency.Observe(int64(s.now - s.in.Txns[tx].Arrival))
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{At: int64(s.now), Kind: "commit", Tx: int(tx),
+			Node: int(s.in.Txns[tx].Node), Value: int64(s.now - s.in.Txns[tx].Arrival)})
+	}
 }
 
 // attemptDue retries elastic-mode transactions whose decided time has
@@ -452,6 +514,7 @@ func (s *Sim) dispatch(o ObjID) {
 		os.queued = true
 		os.queuedOn = key
 		s.edgeQueue[key] = append(s.edgeQueue[key], o)
+		s.met.linkQueued.Inc()
 		return
 	}
 	w, _ := s.in.G.EdgeWeight(os.at, hop)
@@ -461,6 +524,12 @@ func (s *Sim) dispatch(o ObjID) {
 	os.curEdge = key
 	os.arrive = s.now + Time(w*s.opts.slow())
 	os.traveled += w
+	s.met.moves.Inc()
+	s.met.travel.Add(int64(w))
+	s.met.hops.Observe(int64(w))
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{At: int64(s.now), Kind: "move", Obj: int(o), Node: int(hop), Value: int64(w)})
+	}
 	s.push(event{at: os.arrive, prio: prioArrive, id: int(o)})
 }
 

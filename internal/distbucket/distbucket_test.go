@@ -6,6 +6,7 @@ import (
 	"dtm/internal/batch"
 	"dtm/internal/core"
 	"dtm/internal/graph"
+	"dtm/internal/sched"
 	"dtm/internal/workload"
 )
 
@@ -133,8 +134,8 @@ func TestFullSpeedObjectsAlsoFeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	half := run(t, in, Options{Seed: 5, SlowFactor: 2})
-	full := run(t, in, Options{Seed: 5, SlowFactor: 1})
+	half := run(t, in, Options{Options: sched.Options{Sim: core.SimOptions{SlowFactor: 2}}, Seed: 5})
+	full := run(t, in, Options{Options: sched.Options{Sim: core.SimOptions{SlowFactor: 1}}, Seed: 5})
 	if full.Err != nil || half.Err != nil {
 		t.Fatalf("violations: full=%v half=%v", full.Err, half.Err)
 	}

@@ -37,6 +37,7 @@ import (
 	"dtm/internal/cover"
 	"dtm/internal/distnet"
 	"dtm/internal/graph"
+	"dtm/internal/obs"
 )
 
 // Message payloads. All payloads are immutable after send.
@@ -109,6 +110,38 @@ type decision struct {
 	exec core.Time
 }
 
+// protoMetrics holds the protocol's instrument handles, shared by all node
+// handlers; the counters are atomic, so the parallel engine's concurrent
+// handlers update them race-free. All nil (and free) when disabled.
+type protoMetrics struct {
+	discoveries *obs.Counter   // distbucket.discoveries: discovery rounds started
+	reports     *obs.Counter   // distbucket.reports: reports received by leaders
+	inserted    *obs.Counter   // distbucket.insertions: partial-bucket insertions
+	overflow    *obs.Counter   // distbucket.overflows: forced into the top level
+	activations *obs.Counter   // distbucket.activations: sessions started
+	reserves    *obs.Counter   // distbucket.reserves: home reservations received
+	grants      *obs.Counter   // distbucket.grants: grants received by leaders
+	releases    *obs.Counter   // distbucket.releases: home releases received
+	level       *obs.Histogram // distbucket.bucket_level: insertion level
+}
+
+func newProtoMetrics(m *obs.Metrics) protoMetrics {
+	if m == nil {
+		return protoMetrics{}
+	}
+	return protoMetrics{
+		discoveries: m.Counter("distbucket.discoveries"),
+		reports:     m.Counter("distbucket.reports"),
+		inserted:    m.Counter("distbucket.insertions"),
+		overflow:    m.Counter("distbucket.overflows"),
+		activations: m.Counter("distbucket.activations"),
+		reserves:    m.Counter("distbucket.reserves"),
+		grants:      m.Counter("distbucket.grants"),
+		releases:    m.Counter("distbucket.releases"),
+		level:       m.Histogram("distbucket.bucket_level", obs.PowersOfTwo(6)),
+	}
+}
+
 // config is shared, read-only state for all node handlers.
 type config struct {
 	in       *core.Instance
@@ -117,6 +150,7 @@ type config struct {
 	batch    batch.Scheduler
 	slow     graph.Weight
 	maxLevel int
+	met      protoMetrics
 }
 
 func (c *config) home(o core.ObjID) graph.NodeID { return c.in.Objects[o].Origin }
@@ -268,6 +302,7 @@ func (n *node) onArrival(ctx *distnet.Ctx, m arrivalMsg) {
 	tx := n.cfg.in.Txns[m.Tx]
 	d := &discovery{tx: tx, waiting: len(tx.Objects)}
 	n.discov[m.Tx] = d
+	n.cfg.met.discoveries.Inc()
 	for _, o := range tx.Objects {
 		ctx.Send(n.cfg.home(o), reqMsg{Obj: o, Tx: m.Tx, TxNode: n.id})
 	}
@@ -342,6 +377,7 @@ func bucketKeyLess(a, b bucketKey) bool {
 // whose batch cost stays within 2^i, then arms the activation timer.
 func (n *node) onReport(ctx *distnet.Ctx, m reportMsg) {
 	n.audit.Reports++
+	n.cfg.met.reports.Inc()
 	for _, os := range m.Objs {
 		n.learn(os)
 	}
@@ -366,12 +402,15 @@ func (n *node) onReport(ctx *distnet.Ctx, m reportMsg) {
 	if placed < 0 {
 		placed = n.cfg.maxLevel
 		n.audit.Overflowed++
+		n.cfg.met.overflow.Inc()
 	}
 	key := bucketKey{cluster: m.Cluster, level: placed}
 	n.buckets[key] = append(n.buckets[key], pendTx{
 		tx: tx, objs: m.Objs, since: ctx.Now(), level: placed,
 	})
 	n.audit.Inserted++
+	n.cfg.met.inserted.Inc()
+	n.cfg.met.level.Observe(int64(placed))
 	if placed > n.audit.MaxLevelUsed {
 		n.audit.MaxLevelUsed = placed
 	}
@@ -454,6 +493,7 @@ func (n *node) maybeStartSession(ctx *distnet.Ctx) {
 	}
 	delete(n.buckets, key)
 	n.audit.Activations++
+	n.cfg.met.activations.Inc()
 	n.sessSeq++
 	s := &session{
 		id:      int64(n.id)<<32 | n.sessSeq,
@@ -478,6 +518,7 @@ func (n *node) maybeStartSession(ctx *distnet.Ctx) {
 
 // onReserve serializes leaders at the object's home.
 func (n *node) onReserve(ctx *distnet.Ctx, from graph.NodeID, m reserveMsg) {
+	n.cfg.met.reserves.Inc()
 	r := n.reserved[m.Obj]
 	if r == nil {
 		r = &reservation{}
@@ -499,6 +540,7 @@ func (n *node) onReserve(ctx *distnet.Ctx, from graph.NodeID, m reserveMsg) {
 
 // onGrant advances the session's acquisition; when complete, schedule.
 func (n *node) onGrant(ctx *distnet.Ctx, m grantMsg) {
+	n.cfg.met.grants.Inc()
 	s := n.sess
 	if s == nil || s.id != m.Session {
 		// A grant for a session we no longer run would leak the home's
@@ -576,6 +618,7 @@ func (n *node) finishSession(ctx *distnet.Ctx) {
 // onRelease updates the home's availability and grants the next waiting
 // leader, if any.
 func (n *node) onRelease(ctx *distnet.Ctx, m releaseMsg) {
+	n.cfg.met.releases.Inc()
 	r := n.reserved[m.Obj]
 	if r == nil || r.holderSession != m.Session {
 		return

@@ -12,22 +12,20 @@ import (
 	"dtm/internal/sched"
 )
 
-// Options configure a distributed bucket run.
+// Options configure a distributed bucket run. The embedded sched.Options
+// carries the driver knobs shared with the central drivers — Sim (whose
+// SlowFactor here defaults to the paper's Section V value 2: control
+// messages at full speed, objects at half), SnapshotEvery, and Obs.
 type Options struct {
+	sched.Options
 	// Batch is the offline algorithm A to convert. Required.
 	Batch batch.Scheduler
 	// Seed drives the randomized sparse cover construction.
 	Seed int64
-	// SlowFactor is the object slow-down of Section V; 0 means the paper's
-	// value 2 (control messages at full speed, objects at half).
-	SlowFactor int
 	// Parallel runs the network engine with goroutine-per-node steps.
 	Parallel bool
 	// MaxLevel caps bucket levels; 0 means the Lemma 3 bound.
 	MaxLevel int
-	// SnapshotEvery takes a competitive-ratio snapshot at every k-th
-	// distinct arrival time (0 or 1 = every one; <0 disables).
-	SnapshotEvery int
 }
 
 // Result bundles the run metrics with protocol statistics.
@@ -56,15 +54,19 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 	if opts.Batch == nil {
 		return nil, fmt.Errorf("distbucket: no batch scheduler configured")
 	}
-	slow := opts.SlowFactor
-	if slow == 0 {
-		slow = 2
+	simOpts := opts.Sim
+	if simOpts.SlowFactor == 0 {
+		simOpts.SlowFactor = 2
 	}
+	if simOpts.Obs == nil {
+		simOpts.Obs = opts.Obs
+	}
+	slow := simOpts.SlowFactor
 	hier, err := cover.Build(in.G, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	sim, err := core.NewSim(in, core.SimOptions{SlowFactor: slow})
+	sim, err := core.NewSim(in, simOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -83,6 +85,7 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 		batch:    opts.Batch,
 		slow:     graph.Weight(slow),
 		maxLevel: maxLevel,
+		met:      newProtoMetrics(opts.Obs),
 	}
 	nodes := make([]*node, in.G.N())
 	handlers := make([]distnet.Handler, in.G.N())
@@ -90,7 +93,7 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 		nodes[i] = newNode(cfg, graph.NodeID(i))
 		handlers[i] = nodes[i]
 	}
-	net, err := distnet.New(in.G, handlers, distnet.Options{Parallel: opts.Parallel})
+	net, err := distnet.New(in.G, handlers, distnet.Options{Parallel: opts.Parallel, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +103,34 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 	if snapEvery == 0 {
 		snapEvery = 1
 	}
+	metArrivals := opts.Obs.Counter("sched.arrivals")
+	metSnaps := opts.Obs.Counter("sched.snapshots")
 	var snaps []sched.Snapshot
+
+	// buildResult assembles the full Result from whatever has happened so
+	// far; fail marks it with the driver error, consistently with the
+	// central drivers.
+	buildResult := func() *Result {
+		res := &Result{
+			RunResult:   sched.BuildResult(sim, fmt.Sprintf("distbucket(%s)", opts.Batch.Name()), snaps, opts.Obs),
+			Audit:       Audit{LayerCounts: make(map[int]int)},
+			Messages:    net.MessagesSent(),
+			MsgDistance: net.MessageDistance(),
+			CoverLayers: hier.NumLayers(),
+			SubLayers:   hier.MaxSubLayers(),
+		}
+		for _, nd := range nodes {
+			res.Audit.merge(nd.audit)
+		}
+		return res
+	}
+	fail := func(err error) (*Result, error) {
+		res := buildResult()
+		res.Failed = true
+		res.Err = err
+		return res, err
+	}
+
 	ai := 0
 	for !sim.AllExecuted() {
 		// Next event across the three clocks.
@@ -120,46 +150,39 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 			take(st)
 		}
 		if t < 0 {
-			return nil, fmt.Errorf("distbucket: protocol stalled at t=%d with unexecuted transactions", sim.Now())
+			return fail(fmt.Errorf("distbucket: protocol stalled at t=%d with unexecuted transactions", sim.Now()))
 		}
 		if err := sim.AdvanceTo(t); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if ai < len(arrivals) && arrivals[ai] == t {
 			if snapEvery > 0 && ai%snapEvery == 0 {
 				snaps = append(snaps, sched.TakeSnapshot(sim, t))
+				metSnaps.Inc()
 			}
-			for _, tx := range in.TxnsArriving(t) {
+			txns := in.TxnsArriving(t)
+			metArrivals.Add(int64(len(txns)))
+			for _, tx := range txns {
 				if err := net.InjectAt(t, tx.Node, arrivalMsg{Tx: tx.ID}); err != nil {
-					return nil, err
+					return fail(err)
 				}
 			}
 			ai++
 		}
 		if err := net.RunUntil(t); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		// Apply freshly announced decisions to the physics.
 		for _, nd := range nodes {
 			for _, d := range nd.decisions {
 				if err := sim.Decide(d.tx, d.exec); err != nil {
-					return nil, fmt.Errorf("distbucket: applying decision for tx %d: %w", d.tx, err)
+					return fail(fmt.Errorf("distbucket: applying decision for tx %d: %w", d.tx, err))
 				}
 			}
 			nd.decisions = nd.decisions[:0]
 		}
 	}
-	res := &Result{
-		RunResult:   sched.BuildResult(sim, fmt.Sprintf("distbucket(%s)", opts.Batch.Name()), snaps),
-		Audit:       Audit{LayerCounts: make(map[int]int)},
-		Messages:    net.MessagesSent(),
-		MsgDistance: net.MessageDistance(),
-		CoverLayers: hier.NumLayers(),
-		SubLayers:   hier.MaxSubLayers(),
-	}
-	for _, nd := range nodes {
-		res.Audit.merge(nd.audit)
-	}
+	res := buildResult()
 	res.Lemma6Pairs, res.Lemma6Violations = lemma6Audit(in, sim, nodes)
 	return res, nil
 }

@@ -20,10 +20,12 @@ package distnet
 import (
 	"container/heap"
 	"fmt"
+	"reflect"
 	"sync"
 
 	"dtm/internal/core"
 	"dtm/internal/graph"
+	"dtm/internal/obs"
 )
 
 // EventKind discriminates handler events.
@@ -146,6 +148,35 @@ func (q *eventQueue) Pop() interface{} {
 type Options struct {
 	// Parallel runs each step's active nodes as concurrent goroutines.
 	Parallel bool
+	// Obs, when set, collects message and queue metrics. All accounting
+	// happens in the engine's single-threaded merge phase, so handlers pay
+	// nothing.
+	Obs *obs.Metrics
+}
+
+// engineMetrics holds the engine's instrument handles; all nil (and free)
+// when observability is disabled.
+type engineMetrics struct {
+	messages  *obs.Counter   // distnet.messages: total messages sent
+	msgDist   *obs.Counter   // distnet.msg_distance: total distance covered
+	msgBytes  *obs.Counter   // distnet.msg_bytes: shallow payload size sum
+	injects   *obs.Counter   // distnet.injects: external events placed
+	wakes     *obs.Counter   // distnet.wakes: timers scheduled
+	nodeQueue *obs.Histogram // distnet.node_queue: events per node per step
+}
+
+func newEngineMetrics(m *obs.Metrics) engineMetrics {
+	if m == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		messages:  m.Counter("distnet.messages"),
+		msgDist:   m.Counter("distnet.msg_distance"),
+		msgBytes:  m.Counter("distnet.msg_bytes"),
+		injects:   m.Counter("distnet.injects"),
+		wakes:     m.Counter("distnet.wakes"),
+		nodeQueue: m.Histogram("distnet.node_queue", obs.PowersOfTwo(10)),
+	}
 }
 
 // Engine drives the handlers through synchronous time.
@@ -160,6 +191,10 @@ type Engine struct {
 
 	msgsSent    int
 	msgDistance graph.Weight
+
+	met    engineMetrics
+	byType map[reflect.Type]*obs.Counter // distnet.msg.<type> cache
+	bySize map[reflect.Type]int64        // shallow payload size cache
 }
 
 // New builds an engine over g with one handler per node.
@@ -175,7 +210,39 @@ func New(g *graph.Graph, handlers []Handler, opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("distnet: nil handler for node %d", i)
 		}
 	}
-	return &Engine{g: g, handlers: handlers, opts: opts}, nil
+	e := &Engine{g: g, handlers: handlers, opts: opts, met: newEngineMetrics(opts.Obs)}
+	if opts.Obs != nil {
+		e.byType = make(map[reflect.Type]*obs.Counter)
+		e.bySize = make(map[reflect.Type]int64)
+	}
+	return e, nil
+}
+
+// accountMessage attributes one sent message to its payload type: a
+// distnet.msg.<type> counter and a shallow byte estimate. Only called when
+// observability is enabled, from the single-threaded merge phase.
+func (e *Engine) accountMessage(payload interface{}) {
+	t := reflect.TypeOf(payload)
+	c, ok := e.byType[t]
+	if !ok {
+		name := "nil"
+		if t != nil {
+			name = t.String()
+		}
+		c = e.opts.Obs.Counter("distnet.msg." + name)
+		e.byType[t] = c
+		sz := int64(0)
+		if t != nil {
+			st := t
+			for st.Kind() == reflect.Ptr {
+				st = st.Elem()
+			}
+			sz = int64(st.Size())
+		}
+		e.bySize[t] = sz
+	}
+	c.Inc()
+	e.met.msgBytes.Add(e.bySize[t])
 }
 
 // Now returns the engine clock.
@@ -197,6 +264,7 @@ func (e *Engine) InjectAt(t core.Time, node graph.NodeID, payload interface{}) e
 		return fmt.Errorf("distnet: inject to unknown node %d", node)
 	}
 	e.push(queuedEvent{at: t, node: node, ev: Event{Kind: KindInject, Payload: payload}})
+	e.met.injects.Inc()
 	return nil
 }
 
@@ -285,9 +353,22 @@ func (e *Engine) stepOnce(at core.Time) error {
 	}
 	// Deterministic merge: outboxes in node order, preserving each node's
 	// send order.
-	for _, ctx := range ctxs {
+	for i, ctx := range ctxs {
 		e.msgsSent += ctx.msgs
 		e.msgDistance += ctx.dist
+		if e.opts.Obs != nil {
+			e.met.nodeQueue.Observe(int64(len(batches[i].evs)))
+			e.met.messages.Add(int64(ctx.msgs))
+			e.met.msgDist.Add(int64(ctx.dist))
+			for _, qe := range ctx.out {
+				switch qe.ev.Kind {
+				case KindMessage:
+					e.accountMessage(qe.ev.Payload)
+				case KindWake:
+					e.met.wakes.Inc()
+				}
+			}
+		}
 		for _, qe := range ctx.out {
 			e.push(qe)
 		}

@@ -160,7 +160,7 @@ func table3BucketLemmas(cfg Config) (*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := sched.Run(in, b, sched.Options{}); err != nil {
+			if _, err := sched.Run(in, b, sched.Options{Obs: cfg.Obs}); err != nil {
 				return nil, err
 			}
 			audit := b.Audit()
@@ -263,7 +263,7 @@ func table7BucketAblation(cfg Config) (*stats.Table, error) {
 	}{{"leveled (Algorithm 2)", false}, {"single top bucket", true}} {
 		in, local, far := build()
 		b := bucket.New(bucket.Options{Batch: batch.Tour{}, ForceTopLevel: variant.force})
-		rr, err := sched.Run(in, b, sched.Options{})
+		rr, err := sched.Run(in, b, sched.Options{Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}

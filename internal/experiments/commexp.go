@@ -47,7 +47,7 @@ func figure11TimeVsComm(cfg Config) (*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			rr, err := sched.Run(in, e.mk(), sched.Options{})
+			rr, err := sched.Run(in, e.mk(), sched.Options{Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}

@@ -47,7 +47,7 @@ func figure12Congestion(cfg Config) (*stats.Table, error) {
 			return nil, err
 		}
 		// Plan capacity-obliviously.
-		rr, err := sched.Run(in, newGreedy(), sched.Options{SnapshotEvery: -1})
+		rr, err := sched.Run(in, newGreedy(), sched.Options{SnapshotEvery: -1, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}

@@ -42,11 +42,11 @@ func table4Distributed(cfg Config) (*stats.Table, error) {
 		}
 		// Run the centralized bucket with the same half-speed objects so
 		// the comparison isolates the coordination overhead.
-		central, err := sched.Run(in, newBucketTourSlow(2), sched.Options{Sim: core.SimOptions{SlowFactor: 2}})
+		central, err := sched.Run(in, newBucketTourSlow(2), sched.Options{Sim: core.SimOptions{SlowFactor: 2}, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
-		dist, err := distbucket.Run(in, distbucket.Options{Batch: batch.Tour{}, Seed: cfg.Seed, Parallel: true})
+		dist, err := distbucket.Run(in, distbucket.Options{Options: sched.Options{Obs: cfg.Obs}, Batch: batch.Tour{}, Seed: cfg.Seed, Parallel: true})
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +121,8 @@ func figure9HalfSpeed(cfg Config) (*stats.Table, error) {
 	var mkHalf, mkFull core.Time
 	for _, slow := range []int{1, 2} {
 		res, err := distbucket.Run(in, distbucket.Options{
-			Batch: batch.Tour{}, Seed: cfg.Seed, SlowFactor: slow, Parallel: true,
+			Options: sched.Options{Sim: core.SimOptions{SlowFactor: slow}, Obs: cfg.Obs},
+			Batch:   batch.Tour{}, Seed: cfg.Seed, Parallel: true,
 		})
 		if err != nil {
 			return nil, err

@@ -19,6 +19,7 @@ import (
 	"dtm/internal/core"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
+	"dtm/internal/obs"
 	"dtm/internal/sched"
 	"dtm/internal/stats"
 	"dtm/internal/workload"
@@ -34,6 +35,9 @@ type Config struct {
 	// Trials averages each sweep point over this many seeds (default 3,
 	// 1 when Quick).
 	Trials int
+	// Obs, when set, accumulates metrics across every run the experiment
+	// performs (cmd/dtmbench -metrics).
+	Obs *obs.Metrics
 }
 
 func (c Config) trials() int {
@@ -111,7 +115,7 @@ func runTrials(cfg Config, trials int, mk func(seed int64) (*core.Instance, sche
 		if err != nil {
 			return m, err
 		}
-		rr, err := sched.Run(in, s, sched.Options{})
+		rr, err := sched.Run(in, s, sched.Options{Obs: cfg.Obs})
 		if err != nil {
 			return m, fmt.Errorf("%s: %w", s.Name(), err)
 		}

@@ -225,7 +225,7 @@ func table2GreedyBounds(cfg Config) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := sched.Run(in, gs, sched.Options{}); err != nil {
+		if _, err := sched.Run(in, gs, sched.Options{Obs: cfg.Obs}); err != nil {
 			return nil, err
 		}
 		a := gs.Audit()

@@ -48,7 +48,7 @@ func figure10Load(cfg Config) (*stats.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				rr, err := sched.Run(in, st.mkSched(), sched.Options{SnapshotEvery: -1})
+				rr, err := sched.Run(in, st.mkSched(), sched.Options{SnapshotEvery: -1, Obs: cfg.Obs})
 				if err != nil {
 					return nil, err
 				}

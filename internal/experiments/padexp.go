@@ -37,7 +37,7 @@ func figure13Padding(cfg Config) (*stats.Table, error) {
 		return nil, err
 	}
 	for _, pad := range []int{1, 2, 3} {
-		rr, err := sched.Run(in, greedy.New(greedy.Options{Pad: pad}), sched.Options{SnapshotEvery: -1})
+		rr, err := sched.Run(in, greedy.New(greedy.Options{Pad: pad}), sched.Options{SnapshotEvery: -1, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}

@@ -121,7 +121,7 @@ func table9ClosedLoop(cfg Config) (*stats.Table, error) {
 			}
 			rr, in, err := sched.RunClosedLoop(g, sched.ClosedLoopConfig{
 				Objects: objects, Rounds: rounds, Gen: gen,
-			}, greedy.New(greedy.Options{}), sched.Options{})
+			}, greedy.New(greedy.Options{}), sched.Options{Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}

@@ -23,6 +23,7 @@ import (
 	"dtm/internal/coloring"
 	"dtm/internal/core"
 	"dtm/internal/graph"
+	"dtm/internal/obs"
 	"dtm/internal/sched"
 )
 
@@ -73,6 +74,11 @@ type Greedy struct {
 	objUsers map[core.ObjID][]core.TxID // live scheduled users per object
 	buffer   []*core.Transaction        // Uniform mode: awaiting epoch
 	audit    Audit
+
+	// Instrument handles; nil (free) when observability is disabled.
+	metScheduled *obs.Counter   // greedy.colors_assigned
+	metWithin    *obs.Counter   // greedy.within_bound
+	metColor     *obs.Histogram // greedy.color: assigned color = delay
 }
 
 // New returns a greedy scheduler with the given options.
@@ -98,6 +104,9 @@ func (g *Greedy) Audit() Audit { return g.audit }
 // Start implements sched.Scheduler.
 func (g *Greedy) Start(env *sched.Env) error {
 	g.env = env
+	g.metScheduled = env.Obs.Counter("greedy.colors_assigned")
+	g.metWithin = env.Obs.Counter("greedy.within_bound")
+	g.metColor = env.Obs.Histogram("greedy.color", obs.PowersOfTwo(16))
 	g.beta = g.opts.Beta
 	if g.opts.Uniform {
 		if g.beta == 0 {
@@ -294,8 +303,11 @@ func (g *Greedy) schedule(txns []*core.Transaction) error {
 			}
 		}
 		g.audit.Scheduled++
+		g.metScheduled.Inc()
+		g.metColor.Observe(int64(c))
 		if c <= bound {
 			g.audit.WithinBound++
+			g.metWithin.Inc()
 		}
 		if c > g.audit.MaxColor {
 			g.audit.MaxColor = c

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var m *Metrics
+	if m.Enabled() {
+		t.Fatal("nil Metrics reports enabled")
+	}
+	c := m.Counter("x")
+	g := m.Gauge("y")
+	h := m.Histogram("z", PowersOfTwo(4))
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil Metrics handed out non-nil handles")
+	}
+	// All of these must be no-ops, not panics.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(7)
+	m.Emit(Event{Kind: "noop"})
+	m.SetSink(&SliceSink{})
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles reported non-zero values")
+	}
+	if m.Snapshot() != nil {
+		t.Fatal("nil Metrics produced a snapshot")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	m := New()
+	c := m.Counter("runs")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if m.Counter("runs") != c {
+		t.Fatal("re-registering a counter returned a different handle")
+	}
+
+	g := m.Gauge("depth")
+	g.Add(3)
+	g.Add(4)
+	g.Add(-5)
+	if g.Value() != 2 || g.Max() != 7 {
+		t.Fatalf("gauge = (%d, max %d), want (2, max 7)", g.Value(), g.Max())
+	}
+	g.Set(1)
+	if g.Value() != 1 || g.Max() != 7 {
+		t.Fatalf("gauge after Set = (%d, max %d), want (1, max 7)", g.Value(), g.Max())
+	}
+
+	h := m.Histogram("hops", []int64{1, 2, 4})
+	for _, v := range []int64{1, 1, 2, 3, 4, 9} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 20 {
+		t.Fatalf("histogram count/sum = %d/%d, want 6/20", h.Count(), h.Sum())
+	}
+	s := m.Snapshot()
+	hv := s.Histograms["hops"]
+	want := []int64{2, 1, 2, 1} // <=1, <=2, <=4, overflow
+	for i, c := range hv.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", hv.Counts, want)
+		}
+	}
+	if hv.Min != 1 || hv.Max != 9 {
+		t.Fatalf("histogram min/max = %d/%d, want 1/9", hv.Min, hv.Max)
+	}
+	if s.Counters["runs"] != 5 {
+		t.Fatalf("snapshot counter = %d, want 5", s.Counters["runs"])
+	}
+	if s.Gauges["depth"] != (GaugeValue{Value: 1, Max: 7}) {
+		t.Fatalf("snapshot gauge = %+v", s.Gauges["depth"])
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	m := New()
+	c := m.Counter("c")
+	g := m.Gauge("g")
+	h := m.Histogram("h", PowersOfTwo(8))
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(int64(i % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestSinks(t *testing.T) {
+	m := New()
+	var ss SliceSink
+	m.SetSink(&ss)
+	m.Emit(Event{At: 3, Kind: "decide", Tx: 1})
+	m.Emit(Event{At: 5, Kind: "move", Obj: 2, Value: 4})
+	evs := ss.Events()
+	if len(evs) != 2 || evs[0].Kind != "decide" || evs[1].Value != 4 {
+		t.Fatalf("slice sink captured %+v", evs)
+	}
+
+	var b strings.Builder
+	js := NewJSONLSink(&b)
+	js.Event(Event{At: 1, Kind: "commit", Tx: 7})
+	got := b.String()
+	if !strings.Contains(got, `"kind":"commit"`) || !strings.HasSuffix(got, "\n") {
+		t.Fatalf("jsonl sink wrote %q", got)
+	}
+}
+
+func TestExporters(t *testing.T) {
+	m := New()
+	m.Counter("a.runs").Add(2)
+	m.Gauge("a.depth").Set(3)
+	m.Histogram("a.lat", []int64{10}).Observe(4)
+	s := m.Snapshot()
+
+	var j strings.Builder
+	if err := s.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"a.runs": 2`, `"a.depth"`, `"a.lat"`} {
+		if !strings.Contains(j.String(), want) {
+			t.Fatalf("JSON output missing %q:\n%s", want, j.String())
+		}
+	}
+
+	var c strings.Builder
+	if err := s.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	csv := c.String()
+	if !strings.HasPrefix(csv, "kind,name,field,value\n") {
+		t.Fatalf("CSV missing header:\n%s", csv)
+	}
+	for _, want := range []string{"counter,a.runs,value,2", "gauge,a.depth,value,3", "histogram,a.lat,count,1", "histogram,a.lat,le_10,1", "histogram,a.lat,le_+inf,0"} {
+		if !strings.Contains(csv, want) {
+			t.Fatalf("CSV output missing %q:\n%s", want, csv)
+		}
+	}
+}

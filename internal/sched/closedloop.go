@@ -51,11 +51,16 @@ func RunClosedLoop(g *graph.Graph, cfg ClosedLoopConfig, s Scheduler, opts Optio
 			Objects: cfg.Gen(graph.NodeID(v), 0),
 		})
 	}
-	sim, err := core.NewSim(in, opts.Sim)
+	simOpts := opts.Sim
+	if simOpts.Obs == nil {
+		simOpts.Obs = opts.Obs
+	}
+	sim, err := core.NewSim(in, simOpts)
 	if err != nil {
 		return nil, nil, err
 	}
-	env := &Env{Sim: sim, G: g}
+	dm := newDriverMetrics(opts.Obs)
+	env := &Env{Sim: sim, G: g, Obs: opts.Obs}
 	if err := s.Start(env); err != nil {
 		return nil, nil, fmt.Errorf("sched: %s start: %w", s.Name(), err)
 	}
@@ -77,35 +82,45 @@ func RunClosedLoop(g *graph.Graph, cfg ClosedLoopConfig, s Scheduler, opts Optio
 	}
 	snapCount := 0
 
+	// fail returns the partial result alongside the error, consistently
+	// with the other drivers.
+	fail := func(err error) (*RunResult, *core.Instance, error) {
+		rr := BuildResult(sim, s.Name()+"/closed-loop", snaps, opts.Obs)
+		rr.Failed = true
+		rr.Err = err
+		return rr, in, err
+	}
 	deliver := func(t core.Time, txns []*core.Transaction) error {
 		if snapEvery > 0 && snapCount%snapEvery == 0 {
-			snaps = append(snaps, TakeSnapshot(sim, t))
+			snaps = append(snaps, observedSnapshot(sim, t, opts.Obs, dm))
 		}
 		snapCount++
+		dm.arrivals.Add(int64(len(txns)))
 		return s.OnArrive(txns)
 	}
 	if err := sim.AdvanceTo(0); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	if err := deliver(0, in.Txns[:nodes]); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 
 	for guard := 0; ; guard++ {
 		if guard > 1<<24 {
-			return nil, nil, fmt.Errorf("sched: closed loop did not converge")
+			return fail(fmt.Errorf("sched: closed loop did not converge"))
 		}
 		// Serve due scheduler wakes at the current time.
 		for wg := 0; ; wg++ {
 			if wg > 1<<20 {
-				return nil, nil, fmt.Errorf("sched: %s keeps requesting wake at t=%d without progress", s.Name(), sim.Now())
+				return fail(fmt.Errorf("sched: %s keeps requesting wake at t=%d without progress", s.Name(), sim.Now()))
 			}
 			w, ok := s.NextWake()
 			if !ok || w > sim.Now() {
 				break
 			}
+			dm.wakeups.Inc()
 			if err := s.OnWake(); err != nil {
-				return nil, nil, err
+				return fail(err)
 			}
 		}
 		// Finished?
@@ -129,10 +144,10 @@ func RunClosedLoop(g *graph.Graph, cfg ClosedLoopConfig, s Scheduler, opts Optio
 			take(st)
 		}
 		if t < 0 {
-			return nil, nil, fmt.Errorf("sched: %s stalled in closed loop at t=%d", s.Name(), sim.Now())
+			return fail(fmt.Errorf("sched: %s stalled in closed loop at t=%d", s.Name(), sim.Now()))
 		}
 		if err := sim.AdvanceTo(t); err != nil {
-			return nil, nil, err
+			return fail(err)
 		}
 		// Completions: a node whose transaction executed issues its next
 		// transaction one step later.
@@ -166,23 +181,23 @@ func RunClosedLoop(g *graph.Graph, cfg ClosedLoopConfig, s Scheduler, opts Optio
 				}
 				round[v]++
 				if err := sim.AddTransaction(tx); err != nil {
-					return nil, nil, err
+					return fail(err)
 				}
 				waiting = append(waiting, tx.ID)
 				newTxns = append(newTxns, tx)
 			}
 			if err := deliver(t, newTxns); err != nil {
-				return nil, nil, err
+				return fail(err)
 			}
 		}
 	}
 	for _, tx := range in.Txns {
 		if _, ok := sim.Scheduled(tx.ID); !ok {
-			return nil, nil, fmt.Errorf("sched: %s never scheduled transaction %d", s.Name(), tx.ID)
+			return fail(fmt.Errorf("sched: %s never scheduled transaction %d", s.Name(), tx.ID))
 		}
 	}
 	if err := sim.RunToCompletion(); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
-	return BuildResult(sim, s.Name()+"/closed-loop", snaps), in, nil
+	return BuildResult(sim, s.Name()+"/closed-loop", snaps, opts.Obs), in, nil
 }

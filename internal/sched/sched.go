@@ -13,16 +13,22 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"dtm/internal/core"
 	"dtm/internal/graph"
 	"dtm/internal/lowerbound"
+	"dtm/internal/obs"
+	"dtm/internal/stats"
 )
 
 // Env gives a scheduler oracle access to the running simulation.
 type Env struct {
 	Sim *core.Sim
 	G   *graph.Graph
+	// Obs is the run's observability registry (nil when disabled);
+	// schedulers register their own instruments from Start.
+	Obs *obs.Metrics
 }
 
 // Scheduler is an online transaction scheduling algorithm. Implementations
@@ -69,6 +75,16 @@ type RunResult struct {
 	// Decisions is the full decision log (sorted by decision time), enough
 	// to replay and re-validate the run with core.Replay.
 	Decisions []core.Decision
+	// Failed reports that the run did not finish cleanly — the scheduler
+	// misbehaved, left transactions unscheduled, or the schedule violated
+	// the model — and Err carries the cause. Err supersedes the embedded
+	// core Result's Err (it includes driver-level failures the engine
+	// never sees).
+	Failed bool
+	Err    error
+	// Metrics is the observability snapshot taken when the result was
+	// built; nil unless the run was given an obs registry.
+	Metrics *obs.Snapshot
 }
 
 // Options configure a driver run.
@@ -77,16 +93,68 @@ type Options struct {
 	// SnapshotEvery takes a competitive-ratio snapshot at every k-th
 	// distinct arrival time (0 or 1 = every one; <0 disables snapshots).
 	SnapshotEvery int
+	// Obs, when set, collects metrics across the driver, the engine, and
+	// the scheduler, and is snapshotted into RunResult.Metrics. It is
+	// threaded into the Sim (unless Sim.Obs is already set) and exposed
+	// to schedulers via Env.Obs.
+	Obs *obs.Metrics
+}
+
+// driverMetrics holds the Run/RunClosedLoop instrument handles; all nil
+// (and free) when observability is disabled.
+type driverMetrics struct {
+	arrivals *obs.Counter   // sched.arrivals: transactions delivered
+	wakeups  *obs.Counter   // sched.wakeups: OnWake invocations
+	snaps    *obs.Counter   // sched.snapshots: ratio snapshots taken
+	snapLive *obs.Histogram // sched.snapshot_live: live-set size per snapshot
+	snapNs   *obs.Histogram // sched.snapshot_ns: wall-clock cost of a snapshot
+	live     *obs.Gauge     // sched.live_txns: live-set size at snapshots
+}
+
+func newDriverMetrics(m *obs.Metrics) driverMetrics {
+	if m == nil {
+		return driverMetrics{}
+	}
+	return driverMetrics{
+		arrivals: m.Counter("sched.arrivals"),
+		wakeups:  m.Counter("sched.wakeups"),
+		snaps:    m.Counter("sched.snapshots"),
+		snapLive: m.Histogram("sched.snapshot_live", obs.PowersOfTwo(14)),
+		snapNs:   m.Histogram("sched.snapshot_ns", obs.PowersOfTwo(36)),
+		live:     m.Gauge("sched.live_txns"),
+	}
+}
+
+// observedSnapshot takes a ratio snapshot and records its live-set size
+// and wall-clock latency.
+func observedSnapshot(sim *core.Sim, t core.Time, m *obs.Metrics, dm driverMetrics) Snapshot {
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	sn := TakeSnapshot(sim, t)
+	if m != nil {
+		dm.snapNs.Observe(time.Since(start).Nanoseconds())
+		dm.snaps.Inc()
+		dm.snapLive.Observe(int64(len(sn.Live)))
+		dm.live.Set(int64(len(sn.Live)))
+	}
+	return sn
 }
 
 // Run executes the scheduler against the instance to completion and
 // computes the competitive-ratio trace.
 func Run(in *core.Instance, s Scheduler, opts Options) (*RunResult, error) {
-	sim, err := core.NewSim(in, opts.Sim)
+	simOpts := opts.Sim
+	if simOpts.Obs == nil {
+		simOpts.Obs = opts.Obs
+	}
+	sim, err := core.NewSim(in, simOpts)
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{Sim: sim, G: in.G}
+	dm := newDriverMetrics(opts.Obs)
+	env := &Env{Sim: sim, G: in.G, Obs: opts.Obs}
 	if err := s.Start(env); err != nil {
 		return nil, fmt.Errorf("sched: %s start: %w", s.Name(), err)
 	}
@@ -112,32 +180,39 @@ func Run(in *core.Instance, s Scheduler, opts Options) (*RunResult, error) {
 			break
 		}
 		if err := sim.AdvanceTo(next); err != nil {
-			return failedResult(sim, s, snaps), err
+			return failedResult(sim, s, snaps, opts.Obs, err), err
 		}
 		isArrival := ai < len(arrivals) && arrivals[ai] == next
 		if isArrival {
 			if snapEvery > 0 && ai%snapEvery == 0 {
-				snaps = append(snaps, TakeSnapshot(sim, next))
+				snaps = append(snaps, observedSnapshot(sim, next, opts.Obs, dm))
 			}
-			if err := s.OnArrive(in.TxnsArriving(next)); err != nil {
-				return failedResult(sim, s, snaps), fmt.Errorf("sched: %s OnArrive(t=%d): %w", s.Name(), next, err)
+			txns := in.TxnsArriving(next)
+			dm.arrivals.Add(int64(len(txns)))
+			if err := s.OnArrive(txns); err != nil {
+				err = fmt.Errorf("sched: %s OnArrive(t=%d): %w", s.Name(), next, err)
+				return failedResult(sim, s, snaps, opts.Obs, err), err
 			}
 			ai++
 		}
 		// Serve any wake-ups due now (possibly triggered by the arrival).
 		for guard := 0; ; guard++ {
 			if guard > 1<<20 {
-				return failedResult(sim, s, snaps), fmt.Errorf("sched: %s keeps requesting wake at t=%d without progress", s.Name(), next)
+				err := fmt.Errorf("sched: %s keeps requesting wake at t=%d without progress", s.Name(), next)
+				return failedResult(sim, s, snaps, opts.Obs, err), err
 			}
 			w, ok := s.NextWake()
 			if !ok || w > next {
 				break
 			}
 			if w < next {
-				return failedResult(sim, s, snaps), fmt.Errorf("sched: %s requested wake at t=%d in the past (now t=%d)", s.Name(), w, next)
+				err := fmt.Errorf("sched: %s requested wake at t=%d in the past (now t=%d)", s.Name(), w, next)
+				return failedResult(sim, s, snaps, opts.Obs, err), err
 			}
+			dm.wakeups.Inc()
 			if err := s.OnWake(); err != nil {
-				return failedResult(sim, s, snaps), fmt.Errorf("sched: %s OnWake(t=%d): %w", s.Name(), next, err)
+				err = fmt.Errorf("sched: %s OnWake(t=%d): %w", s.Name(), next, err)
+				return failedResult(sim, s, snaps, opts.Obs, err), err
 			}
 		}
 	}
@@ -145,13 +220,14 @@ func Run(in *core.Instance, s Scheduler, opts Options) (*RunResult, error) {
 	// have a decision by now.
 	for _, tx := range in.Txns {
 		if _, ok := sim.Scheduled(tx.ID); !ok {
-			return failedResult(sim, s, snaps), fmt.Errorf("sched: %s never scheduled transaction %d", s.Name(), tx.ID)
+			err := fmt.Errorf("sched: %s never scheduled transaction %d", s.Name(), tx.ID)
+			return failedResult(sim, s, snaps, opts.Obs, err), err
 		}
 	}
 	if err := sim.RunToCompletion(); err != nil {
-		return failedResult(sim, s, snaps), err
+		return failedResult(sim, s, snaps, opts.Obs, err), err
 	}
-	return finishResult(sim, s, snaps), nil
+	return BuildResult(sim, s.Name(), snaps, opts.Obs), nil
 }
 
 // TakeSnapshot records the live set and the OPT lower bound at time t.
@@ -183,14 +259,14 @@ func TakeSnapshot(sim *core.Sim, t core.Time) Snapshot {
 	return Snapshot{At: t, Live: ids, LB: lb}
 }
 
-func finishResult(sim *core.Sim, s Scheduler, snaps []Snapshot) *RunResult {
-	return BuildResult(sim, s.Name(), snaps)
-}
-
 // BuildResult computes the competitive-ratio trace from snapshots once
-// every execution time is known, and bundles the run metrics.
-func BuildResult(sim *core.Sim, name string, snaps []Snapshot) *RunResult {
+// every execution time is known, and bundles the run metrics together
+// with a snapshot of the obs registry (if any).
+func BuildResult(sim *core.Sim, name string, snaps []Snapshot, m *obs.Metrics) *RunResult {
 	rr := &RunResult{Result: sim.Result(), Scheduler: name}
+	rr.Err = rr.Result.Err
+	rr.Failed = rr.Err != nil
+	rr.Metrics = m.Snapshot()
 	for _, tx := range sim.Instance().Txns {
 		exec, ok := sim.Scheduled(tx.ID)
 		if !ok {
@@ -226,40 +302,30 @@ func BuildResult(sim *core.Sim, name string, snaps []Snapshot) *RunResult {
 	return rr
 }
 
-func failedResult(sim *core.Sim, s Scheduler, snaps []Snapshot) *RunResult {
-	return finishResult(sim, s, snaps)
+// failedResult builds the partial result of an aborted run, marked with
+// the driver error so callers can distinguish it from a finished one.
+func failedResult(sim *core.Sim, s Scheduler, snaps []Snapshot, m *obs.Metrics, err error) *RunResult {
+	rr := BuildResult(sim, s.Name(), snaps, m)
+	rr.Failed = true
+	rr.Err = err
+	return rr
 }
 
-// MeanRatio returns the mean of the per-snapshot competitive ratios.
-func (rr *RunResult) MeanRatio() float64 {
-	if len(rr.Ratios) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, r := range rr.Ratios {
-		sum += r.Ratio
-	}
-	return sum / float64(len(rr.Ratios))
-}
-
-// P95Ratio returns the 95th-percentile per-snapshot ratio.
-func (rr *RunResult) P95Ratio() float64 {
-	if len(rr.Ratios) == 0 {
-		return 0
-	}
+// ratioSamples extracts the per-snapshot ratios as a float sample.
+func (rr *RunResult) ratioSamples() []float64 {
 	xs := make([]float64, len(rr.Ratios))
 	for i, r := range rr.Ratios {
 		xs[i] = r.Ratio
 	}
-	sort.Float64s(xs)
-	// Nearest-rank: the smallest value with at least 95% of the sample at
-	// or below it.
-	i := (len(xs)*95+99)/100 - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(xs) {
-		i = len(xs) - 1
-	}
-	return xs[i]
+	return xs
+}
+
+// MeanRatio returns the mean of the per-snapshot competitive ratios.
+func (rr *RunResult) MeanRatio() float64 {
+	return stats.Mean(rr.ratioSamples())
+}
+
+// P95Ratio returns the 95th-percentile (nearest-rank) per-snapshot ratio.
+func (rr *RunResult) P95Ratio() float64 {
+	return stats.Percentile(rr.ratioSamples(), 0.95)
 }

@@ -49,6 +49,31 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Mean returns the arithmetic mean of the sample (0 for an empty one).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the nearest-rank p-quantile (p in [0,1]) of the
+// sample without modifying it: the smallest value with at least a p
+// fraction of the sample at or below it. It returns 0 for an empty
+// sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentile(sorted, p)
+}
+
 // percentile reads the p-quantile from a sorted sample (nearest-rank).
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {

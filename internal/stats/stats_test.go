@@ -73,3 +73,30 @@ func TestTableCSV(t *testing.T) {
 		t.Errorf("csv = %q, want %q", b.String(), want)
 	}
 }
+
+func TestMeanAndPercentile(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 6}); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	xs := []float64{5, 1, 3, 2, 4} // unsorted: Percentile must not mutate it
+	if got := Percentile(xs, 0.5); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+	if got := Percentile(xs, 0.95); got != 5 {
+		t.Errorf("P95 = %v, want 5", got)
+	}
+	if xs[0] != 5 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+	// Nearest-rank agreement with Summarize on the same sample.
+	s := Summarize(xs)
+	if p50 := Percentile(xs, 0.5); p50 != s.P50 {
+		t.Errorf("Percentile P50 %v != Summarize P50 %v", p50, s.P50)
+	}
+}

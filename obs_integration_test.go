@@ -1,0 +1,234 @@
+package dtm
+
+// End-to-end observability tests: a golden run pinning exact counter values
+// on a deterministic workload, cross-checks between the metrics and the
+// result fields of a distributed run, the Failed/Err contract, and the
+// guard proving that disabled instrumentation costs under 5% of a run.
+
+import (
+	"fmt"
+	"testing"
+
+	"dtm/internal/obs"
+)
+
+func goldenInstance(t *testing.T) *Instance {
+	t.Helper()
+	g, err := Clique(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Generate(g, WorkloadConfig{
+		K: 2, NumObjects: 4, Rounds: 2,
+		Arrival: ArrivalPeriodic, Period: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestMetricsGoldenCliqueGreedy(t *testing.T) {
+	in := goldenInstance(t)
+	m := NewMetrics()
+	rr, err := Run(in, NewGreedy(GreedyOptions{}), RunOptions{Obs: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Metrics == nil {
+		t.Fatal("RunResult.Metrics not populated")
+	}
+	want := map[string]int64{
+		"core.commits":           16,
+		"core.decisions":         16,
+		"core.elastic_waits":     0,
+		"core.link_queued":       0,
+		"core.object_moves":      31,
+		"core.travel_weight":     31,
+		"core.txns_added":        0,
+		"core.violations":        0,
+		"greedy.colors_assigned": 16,
+		"greedy.within_bound":    16,
+		"sched.arrivals":         16,
+		"sched.snapshots":        2,
+		"sched.wakeups":          0,
+	}
+	snap := rr.Metrics
+	for name, v := range want {
+		if got, ok := snap.Counters[name]; !ok || got != v {
+			t.Errorf("counter %s = %d (present %v), want %d", name, got, ok, v)
+		}
+	}
+	for name := range snap.Counters {
+		if _, ok := want[name]; !ok {
+			t.Errorf("unexpected counter %s = %d", name, snap.Counters[name])
+		}
+	}
+	if g := snap.Gauges["core.live_txns"]; g.Value != 0 || g.Max != 10 {
+		t.Errorf("core.live_txns = %+v, want value 0 max 10", g)
+	}
+	h, ok := snap.Histograms["core.commit_latency"]
+	if !ok {
+		t.Fatal("core.commit_latency histogram missing")
+	}
+	if h.Count != 16 || h.Sum != 58 || h.Min != 1 || h.Max != 7 {
+		t.Errorf("core.commit_latency = count %d sum %d min %d max %d, want 16/58/1/7",
+			h.Count, h.Sum, h.Min, h.Max)
+	}
+	hop, ok := snap.Histograms["core.hop_weight"]
+	if !ok || hop.Count != 31 {
+		t.Errorf("core.hop_weight count = %d (present %v), want 31", hop.Count, ok)
+	}
+}
+
+func TestMetricsDistributedCrossChecks(t *testing.T) {
+	g, err := Line(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Generate(g, WorkloadConfig{
+		K: 2, NumObjects: 4, Rounds: 2,
+		Arrival: ArrivalPeriodic, Period: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	res, err := RunDistributed(in, DistributedOptions{
+		Options: RunOptions{Obs: m},
+		Batch:   TourBatch(), Seed: 3, Parallel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Metrics.Counters
+	// The engine's counters must agree with the result's own accounting.
+	if c["distnet.messages"] != int64(res.Messages) {
+		t.Errorf("distnet.messages = %d, result says %d", c["distnet.messages"], res.Messages)
+	}
+	if c["distnet.msg_distance"] != int64(res.MsgDistance) {
+		t.Errorf("distnet.msg_distance = %d, result says %d", c["distnet.msg_distance"], res.MsgDistance)
+	}
+	if c["distbucket.insertions"] != int64(res.Audit.Inserted) {
+		t.Errorf("distbucket.insertions = %d, audit says %d", c["distbucket.insertions"], res.Audit.Inserted)
+	}
+	if c["distbucket.activations"] != int64(res.Audit.Activations) {
+		t.Errorf("distbucket.activations = %d, audit says %d", c["distbucket.activations"], res.Audit.Activations)
+	}
+	// Every transaction arrives once, is injected once, discovered once,
+	// reported once, and committed once.
+	n := int64(len(in.Txns))
+	for _, name := range []string{"sched.arrivals", "distnet.injects", "distbucket.discoveries", "distbucket.reports", "core.commits", "core.decisions"} {
+		if c[name] != n {
+			t.Errorf("%s = %d, want %d", name, c[name], n)
+		}
+	}
+	// Home reservations are granted and released exactly once each.
+	if c["distbucket.reserves"] != c["distbucket.grants"] || c["distbucket.grants"] != c["distbucket.releases"] {
+		t.Errorf("reserve/grant/release mismatch: %d/%d/%d",
+			c["distbucket.reserves"], c["distbucket.grants"], c["distbucket.releases"])
+	}
+	// Per-type message counters partition the total.
+	var typed int64
+	for name, v := range c {
+		if len(name) > len("distnet.msg.") && name[:len("distnet.msg.")] == "distnet.msg." {
+			typed += v
+		}
+	}
+	if typed != c["distnet.messages"] {
+		t.Errorf("per-type message counters sum to %d, total is %d", typed, c["distnet.messages"])
+	}
+}
+
+func TestFailedRunReturnsMarkedResult(t *testing.T) {
+	in := goldenInstance(t)
+	s := &failOnArrive{}
+	rr, err := Run(in, s, RunOptions{})
+	if err == nil {
+		t.Fatal("expected error from failing scheduler")
+	}
+	if rr == nil {
+		t.Fatal("failed run returned nil result")
+	}
+	if !rr.Failed || rr.Err == nil {
+		t.Errorf("Failed=%v Err=%v, want marked failure", rr.Failed, rr.Err)
+	}
+}
+
+// failOnArrive implements Scheduler and errors on the first arrival.
+type failOnArrive struct{}
+
+func (*failOnArrive) Name() string { return "fail-on-arrive" }
+func (*failOnArrive) Start(env *SchedulerEnv) error {
+	return nil
+}
+func (*failOnArrive) OnArrive([]*Transaction) error { return fmt.Errorf("refusing work") }
+func (*failOnArrive) NextWake() (Time, bool)        { return 0, false }
+func (*failOnArrive) OnWake() error                 { return nil }
+
+// TestDisabledInstrumentationOverheadUnder5Percent is the no-op guard: the
+// cost of every nil-handle instrument operation a run would perform, at the
+// measured per-op price, must stay below 5% of the run itself.
+func TestDisabledInstrumentationOverheadUnder5Percent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard")
+	}
+	g, err := Clique(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Generate(g, WorkloadConfig{
+		K: 2, NumObjects: 16, Rounds: 4,
+		Arrival: ArrivalPeriodic, Period: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(obsReg *Metrics) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(in, NewGreedy(GreedyOptions{}), RunOptions{SnapshotEvery: -1, Obs: obsReg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	// Per-op cost of a disabled instrument site: a nil-receiver method call.
+	nilBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nilCounterSink.Inc()
+		}
+	})
+	nsPerOp := float64(nilBench.T.Nanoseconds()) / float64(nilBench.N)
+
+	// How many instrument operations does this run perform? Count them from
+	// an enabled run, with a generous factor for the gauge/emit companions
+	// at the same sites.
+	m := NewMetrics()
+	if _, err := Run(in, NewGreedy(GreedyOptions{}), RunOptions{SnapshotEvery: -1, Obs: m}); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	var ops int64
+	for _, v := range snap.Counters {
+		ops += v
+	}
+	for _, h := range snap.Histograms {
+		ops += h.Count
+	}
+	ops *= 4
+
+	runBench := testing.Benchmark(mk(nil))
+	runNs := float64(runBench.T.Nanoseconds()) / float64(runBench.N)
+	overhead := nsPerOp * float64(ops)
+	if overhead >= 0.05*runNs {
+		t.Errorf("disabled instrumentation costs %.0fns (%d ops at %.2fns) against a %.0fns run: %.1f%% >= 5%%",
+			overhead, ops, nsPerOp, runNs, 100*overhead/runNs)
+	}
+	t.Logf("run %.0fns, %d nil-ops at %.2fns each = %.0fns (%.2f%%)",
+		runNs, ops, nsPerOp, overhead, 100*overhead/runNs)
+}
+
+// nilCounterSink is deliberately a mutable package variable so the compiler
+// cannot fold the nil-receiver call away in the benchmark above.
+var nilCounterSink *obs.Counter

@@ -74,7 +74,7 @@ func TestScaleDistributedGrid64(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunDistributed(in, DistributedOptions{Batch: TourBatch(), Seed: 5, Parallel: true, SnapshotEvery: 4})
+	res, err := RunDistributed(in, DistributedOptions{Options: RunOptions{SnapshotEvery: 4}, Batch: TourBatch(), Seed: 5, Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}
