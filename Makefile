@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench
+.PHONY: all build test check vet fmt race bench bench-quick
 
 all: check
 
@@ -11,7 +11,8 @@ test: build
 	$(GO) test ./...
 
 # check is the CI gate: static checks plus the race detector over the
-# concurrent engines (parallel distnet + the distributed protocol).
+# concurrent engines (parallel distnet + the distributed protocol) and
+# the sweep runner's worker pool.
 check: vet fmt race test
 
 vet:
@@ -22,7 +23,14 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/distnet/... ./internal/distbucket/...
+	$(GO) test -race ./internal/distnet/... ./internal/distbucket/... \
+		./internal/runner/... ./internal/graph/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-quick times the full experiment suite sequentially and on the
+# parallel worker pool, verifies the outputs are byte-identical, and
+# writes wall-clock numbers + speedup to BENCH_runner.json.
+bench-quick: build
+	$(GO) run ./cmd/dtmbench -exp all -quick -benchjson BENCH_runner.json >/dev/null

@@ -9,6 +9,13 @@ package dtm
 // reproduces the whole evaluation, plus the Table 6 CPU microbenchmarks of
 // the scheduling computations themselves (Sections III-B and IV-D analyze
 // their sequential run-time complexity).
+//
+// Every experiment routes its trials through the internal/runner sweep
+// subsystem; the Config zero value (Workers: 0) runs them on a
+// GOMAXPROCS-wide worker pool, and the tables printed here are
+// byte-identical to a sequential (Workers: 1) run by the runner's
+// determinism contract. BenchmarkSweepWorkers measures the pool's effect
+// directly.
 
 import (
 	"fmt"
@@ -72,6 +79,28 @@ func BenchmarkFigure11TimeVsComm(b *testing.B)   { benchExperiment(b, "F11") }
 func BenchmarkFigure12Congestion(b *testing.B)   { benchExperiment(b, "F12") }
 func BenchmarkTable10HubPlacement(b *testing.B)  { benchExperiment(b, "T10") }
 func BenchmarkFigure13Padding(b *testing.B)      { benchExperiment(b, "F13") }
+
+// BenchmarkSweepWorkers times one trial-heavy experiment (T1) at several
+// worker-pool sizes; the rendered tables are byte-identical across them.
+func BenchmarkSweepWorkers(b *testing.B) {
+	e, ok := experiments.ByID("T1")
+	if !ok {
+		b.Fatal("missing T1")
+	}
+	for _, workers := range []int{1, 0} {
+		name := "sequential"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(experiments.Config{Quick: true, Seed: 42, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // --- Table 6: CPU cost of the scheduling computations themselves ---
 

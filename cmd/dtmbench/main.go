@@ -1,16 +1,28 @@
 // Command dtmbench regenerates the constructed evaluation of DESIGN.md §5:
 // every table and figure backing the paper's claims.
 //
-//	dtmbench -list            # show all experiments
-//	dtmbench -exp F1          # regenerate one
-//	dtmbench -all             # regenerate everything
-//	dtmbench -exp F5 -csv     # machine-readable output
+//	dtmbench -list                 # show all experiments
+//	dtmbench -exp F1               # regenerate one
+//	dtmbench -exp all              # regenerate everything (alias for -all)
+//	dtmbench -exp F5 -csv          # machine-readable output
+//	dtmbench -all -parallel 1      # force sequential trial execution
+//	dtmbench -all -benchjson F.json  # time sequential vs parallel, verify identical
+//
+// Trials within each experiment run on the internal/runner worker pool.
+// -parallel selects the pool size: 0 (default) uses GOMAXPROCS, 1 runs
+// sequentially, N>1 uses N workers. Output tables are byte-identical for
+// every setting.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"dtm"
 	"dtm/internal/experiments"
@@ -18,13 +30,15 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiments")
-		exp     = flag.String("exp", "", "experiment ID to run (e.g. F1, T3)")
-		all     = flag.Bool("all", false, "run every experiment")
-		quick   = flag.Bool("quick", false, "smaller sweeps")
-		seed    = flag.Int64("seed", 42, "random seed")
-		csv     = flag.Bool("csv", false, "emit CSV")
-		metrics = flag.Bool("metrics", false, "print a JSON metrics report per experiment")
+		list      = flag.Bool("list", false, "list experiments")
+		exp       = flag.String("exp", "", "experiment ID to run (e.g. F1, T3, or 'all')")
+		all       = flag.Bool("all", false, "run every experiment")
+		quick     = flag.Bool("quick", false, "smaller sweeps")
+		seed      = flag.Int64("seed", 42, "random seed")
+		csv       = flag.Bool("csv", false, "emit CSV")
+		metrics   = flag.Bool("metrics", false, "print a JSON metrics report per experiment")
+		parallel  = flag.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		benchjson = flag.String("benchjson", "", "run all experiments sequentially then in parallel, write timing JSON to FILE")
 	)
 	flag.Parse()
 	switch {
@@ -32,9 +46,14 @@ func main() {
 		for _, e := range experiments.All {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
-	case *all:
+	case *benchjson != "":
+		if err := runBench(*benchjson, *quick, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "dtmbench:", err)
+			os.Exit(1)
+		}
+	case *all || *exp == "all":
 		for _, e := range experiments.All {
-			if err := runOne(e, *quick, *seed, *csv, *metrics); err != nil {
+			if err := runOne(os.Stdout, e, *quick, *seed, *csv, *metrics, *parallel); err != nil {
 				fmt.Fprintln(os.Stderr, "dtmbench:", err)
 				os.Exit(1)
 			}
@@ -45,7 +64,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dtmbench: unknown experiment %q (use -list)\n", *exp)
 			os.Exit(1)
 		}
-		if err := runOne(e, *quick, *seed, *csv, *metrics); err != nil {
+		if err := runOne(os.Stdout, e, *quick, *seed, *csv, *metrics, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "dtmbench:", err)
 			os.Exit(1)
 		}
@@ -55,8 +74,8 @@ func main() {
 	}
 }
 
-func runOne(e experiments.Experiment, quick bool, seed int64, csv, metrics bool) error {
-	cfg := experiments.Config{Quick: quick, Seed: seed}
+func runOne(w io.Writer, e experiments.Experiment, quick bool, seed int64, csv, metrics bool, workers int) error {
+	cfg := experiments.Config{Quick: quick, Seed: seed, Workers: workers}
 	if metrics {
 		cfg.Obs = dtm.NewMetrics()
 	}
@@ -64,16 +83,71 @@ func runOne(e experiments.Experiment, quick bool, seed int64, csv, metrics bool)
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.ID, err)
 	}
-	fmt.Printf("\n[%s] %s\n# claim: %s\n", e.ID, e.Title, e.Claim)
+	fmt.Fprintf(w, "\n[%s] %s\n# claim: %s\n", e.ID, e.Title, e.Claim)
 	if csv {
-		if err := tb.RenderCSV(os.Stdout); err != nil {
+		if err := tb.RenderCSV(w); err != nil {
 			return err
 		}
-	} else if err := tb.Render(os.Stdout); err != nil {
+	} else if err := tb.Render(w); err != nil {
 		return err
 	}
 	if metrics {
-		return cfg.Obs.Snapshot().WriteJSON(os.Stdout)
+		return cfg.Obs.Snapshot().WriteJSON(w)
+	}
+	return nil
+}
+
+// runBench runs the full suite twice — sequentially (workers=1) and on the
+// default pool (workers=0 → GOMAXPROCS) — checks the rendered outputs are
+// byte-identical, and writes wall-clock timings to path.
+func runBench(path string, quick bool, seed int64) error {
+	runAll := func(workers int) ([]byte, time.Duration, error) {
+		var buf bytes.Buffer
+		start := time.Now()
+		for _, e := range experiments.All {
+			if err := runOne(&buf, e, quick, seed, false, false, workers); err != nil {
+				return nil, 0, err
+			}
+		}
+		return buf.Bytes(), time.Since(start), nil
+	}
+	fmt.Fprintln(os.Stderr, "dtmbench: running all experiments sequentially (-parallel 1)...")
+	seqOut, seqDur, err := runAll(1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dtmbench: sequential pass took %s; running in parallel (-parallel 0)...\n", seqDur)
+	parOut, parDur, err := runAll(0)
+	if err != nil {
+		return err
+	}
+	identical := bytes.Equal(seqOut, parOut)
+	report := struct {
+		Quick      bool    `json:"quick"`
+		Workers    int     `json:"workers"`
+		SeqSeconds float64 `json:"seq_seconds"`
+		ParSeconds float64 `json:"par_seconds"`
+		Speedup    float64 `json:"speedup"`
+		Identical  bool    `json:"identical"`
+	}{
+		Quick:      quick,
+		Workers:    runtime.GOMAXPROCS(0),
+		SeqSeconds: seqDur.Seconds(),
+		ParSeconds: parDur.Seconds(),
+		Speedup:    seqDur.Seconds() / parDur.Seconds(),
+		Identical:  identical,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dtmbench: parallel pass took %s (%.2fx, %d workers); report written to %s\n",
+		parDur, report.Speedup, report.Workers, path)
+	if !identical {
+		return fmt.Errorf("sequential and parallel outputs differ (%d vs %d bytes)", len(seqOut), len(parOut))
 	}
 	return nil
 }

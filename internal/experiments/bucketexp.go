@@ -9,9 +9,10 @@ import (
 	"dtm/internal/bucket"
 	"dtm/internal/core"
 	"dtm/internal/graph"
+	"dtm/internal/obs"
+	"dtm/internal/runner"
 	"dtm/internal/sched"
 	"dtm/internal/stats"
-	"dtm/internal/workload"
 )
 
 // figure5Line sweeps the line length for two k values. The Section IV-D
@@ -20,48 +21,53 @@ import (
 // contrast (it has no good line guarantee).
 func figure5Line(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Figure 5 — line: bucket ratio vs n and k (Section IV-D: O(log^3 n), k-free)",
-		"n", "k", "bucket max", "bucket mean", "greedy max", "bucket max/log^3 n")
+		"n", "k", "bucket max", "±", "bucket mean", "greedy max", "bucket max/log^3 n")
 	ns := []int{16, 32, 64, 128, 256}
 	ks := []int{2, 8}
 	if cfg.Quick {
 		ns = []int{16, 64}
 		ks = []int{2}
 	}
+	var points []runner.Point
 	for _, n := range ns {
 		g, err := graph.Line(n)
 		if err != nil {
 			return nil, err
 		}
 		for _, k := range ks {
-			k := k
+			n, k := n, k
 			period := core.Time(g.Diameter()) * 2
-			mb, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-				in, err := genUniform(g, k, n/2, 3, period, seed)
-				return in, newBucketTour(), err
-			})
-			if err != nil {
-				return nil, err
+			mkIn := func(seed int64) (*core.Instance, error) {
+				return genUniform(g, k, n/2, 3, period, seed)
 			}
-			mg, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-				in, err := genUniform(g, k, n/2, 3, period, seed)
-				return in, newGreedy(), err
+			points = append(points, runner.Point{
+				Cells: []runner.Cell{
+					{Name: "bucket", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+						in, err := mkIn(seed)
+						return in, newBucketTour(), err
+					})},
+					{Name: "greedy", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+						in, err := mkIn(seed)
+						return in, newGreedy(), err
+					})},
+				},
+				Row: func(cs []runner.Agg) ([]string, error) {
+					mb, mg := cs[0], cs[1]
+					l3 := math.Pow(math.Log2(float64(n)), 3)
+					return []string{fmt.Sprint(n), fmt.Sprint(k), mb.F2(mb.MaxRatio.Mean), mb.Spread(mb.MaxRatio),
+						mb.F2(mb.MeanRatio.Mean), mg.F2(mg.MaxRatio.Mean), mb.F("%.3f", mb.MaxRatio.Mean/l3)}, nil
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			l3 := math.Pow(math.Log2(float64(n)), 3)
-			t.AddRow(fmt.Sprint(n), fmt.Sprint(k), f2(mb.maxRatio), f2(mb.meanRatio),
-				f2(mg.maxRatio), fmt.Sprintf("%.3f", mb.maxRatio/l3))
 		}
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }
 
 // figure6Cluster sweeps the per-clique size β (γ = β) on the cluster
 // topology of Section IV-D.
 func figure6Cluster(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Figure 6 — cluster: bucket ratio vs β (Section IV-D)",
-		"alpha", "beta", "gamma", "n", "k", "tour max", "tour mean", "list max")
+		"alpha", "beta", "gamma", "n", "k", "tour max", "±", "tour mean", "list max")
 	alphas := 8
 	betas := []int{4, 8, 16, 32}
 	ks := []int{2, 8}
@@ -70,6 +76,7 @@ func figure6Cluster(cfg Config) (*stats.Table, error) {
 		betas = []int{4, 8}
 		ks = []int{2}
 	}
+	var points []runner.Point
 	for _, beta := range betas {
 		spec := graph.ClusterSpec{Alpha: alphas, Beta: beta, Gamma: graph.Weight(beta)}
 		g, err := graph.Cluster(spec)
@@ -77,32 +84,37 @@ func figure6Cluster(cfg Config) (*stats.Table, error) {
 			return nil, err
 		}
 		for _, k := range ks {
-			k := k
-			m, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-				in, err := genUniform(g, k, g.N()/2, 2, core.Time(g.Diameter())*2, seed)
-				return in, newBucketTour(), err
-			})
-			if err != nil {
-				return nil, err
+			beta, k := beta, k
+			mkIn := func(seed int64) (*core.Instance, error) {
+				return genUniform(g, k, g.N()/2, 2, core.Time(g.Diameter())*2, seed)
 			}
-			ml, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-				in, err := genUniform(g, k, g.N()/2, 2, core.Time(g.Diameter())*2, seed)
-				return in, newBucketList(), err
+			points = append(points, runner.Point{
+				Cells: []runner.Cell{
+					{Name: "tour", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+						in, err := mkIn(seed)
+						return in, newBucketTour(), err
+					})},
+					{Name: "list", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+						in, err := mkIn(seed)
+						return in, newBucketList(), err
+					})},
+				},
+				Row: func(cs []runner.Agg) ([]string, error) {
+					m, ml := cs[0], cs[1]
+					return []string{fmt.Sprint(alphas), fmt.Sprint(beta), fmt.Sprint(beta),
+						fmt.Sprint(g.N()), fmt.Sprint(k), m.F2(m.MaxRatio.Mean), m.Spread(m.MaxRatio),
+						m.F2(m.MeanRatio.Mean), ml.F2(ml.MaxRatio.Mean)}, nil
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprint(alphas), fmt.Sprint(beta), fmt.Sprint(beta),
-				fmt.Sprint(g.N()), fmt.Sprint(k), f2(m.maxRatio), f2(m.meanRatio), f2(ml.maxRatio))
 		}
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }
 
 // figure7Star sweeps the ray length β on the star topology of Section IV-D.
 func figure7Star(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Figure 7 — star: bucket ratio vs β (Section IV-D)",
-		"rays", "beta", "n", "k", "tour max", "tour mean", "list max", "tour max/(log β · log^3 n)")
+		"rays", "beta", "n", "k", "tour max", "±", "tour mean", "list max", "tour max/(log β · log^3 n)")
 	rays := 8
 	betas := []int{4, 8, 16, 32, 64}
 	if cfg.Quick {
@@ -110,30 +122,37 @@ func figure7Star(cfg Config) (*stats.Table, error) {
 		betas = []int{4, 16}
 	}
 	k := 2
+	var points []runner.Point
 	for _, beta := range betas {
 		g, err := graph.Star(graph.StarSpec{Rays: rays, RayLen: beta})
 		if err != nil {
 			return nil, err
 		}
-		m, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, k, g.N()/2, 2, core.Time(g.Diameter())*2, seed)
-			return in, newBucketTour(), err
-		})
-		if err != nil {
-			return nil, err
+		beta := beta
+		mkIn := func(seed int64) (*core.Instance, error) {
+			return genUniform(g, k, g.N()/2, 2, core.Time(g.Diameter())*2, seed)
 		}
-		ml, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, k, g.N()/2, 2, core.Time(g.Diameter())*2, seed)
-			return in, newBucketList(), err
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{
+				{Name: "tour", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+					in, err := mkIn(seed)
+					return in, newBucketTour(), err
+				})},
+				{Name: "list", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+					in, err := mkIn(seed)
+					return in, newBucketList(), err
+				})},
+			},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				m, ml := cs[0], cs[1]
+				norm := m.MaxRatio.Mean / (math.Log2(float64(beta)+1) * math.Pow(math.Log2(float64(g.N())), 3))
+				return []string{fmt.Sprint(rays), fmt.Sprint(beta), fmt.Sprint(g.N()), fmt.Sprint(k),
+					m.F2(m.MaxRatio.Mean), m.Spread(m.MaxRatio), m.F2(m.MeanRatio.Mean),
+					ml.F2(ml.MaxRatio.Mean), m.F("%.4f", norm)}, nil
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		norm := m.maxRatio / (math.Log2(float64(beta)+1) * math.Pow(math.Log2(float64(g.N())), 3))
-		t.AddRow(fmt.Sprint(rays), fmt.Sprint(beta), fmt.Sprint(g.N()), fmt.Sprint(k),
-			f2(m.maxRatio), f2(m.meanRatio), f2(ml.maxRatio), fmt.Sprintf("%.4f", norm))
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }
 
 // table3BucketLemmas audits Lemma 3 (level cap) and Lemma 4 (bucket latency
@@ -149,31 +168,53 @@ func table3BucketLemmas(cfg Config) (*stats.Table, error) {
 	if cfg.Quick {
 		graphs = graphs[:1]
 	}
+	var points []runner.Point
 	for _, mk := range graphs {
 		g, err := mk()
 		if err != nil {
 			return nil, err
 		}
 		for _, a := range []batch.Scheduler{batch.Tour{}, batch.Coloring{}} {
-			b := bucket.New(bucket.Options{Batch: a})
-			in, err := genUniform(g, 2, g.N()/2, 3, core.Time(g.Diameter())*4, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := sched.Run(in, b, sched.Options{Obs: cfg.Obs}); err != nil {
-				return nil, err
-			}
-			audit := b.Audit()
-			nd := uint64(g.N()) * uint64(g.Diameter())
-			cap3 := bits.Len64(nd-1) + 1
-			if audit.MaxLevelUsed > cap3 {
-				return nil, fmt.Errorf("T3: %s: level %d beyond Lemma 3 cap %d", g, audit.MaxLevelUsed, cap3)
-			}
-			t.AddRow(g.Name(), a.Name(), fmt.Sprint(audit.MaxLevelUsed), fmt.Sprint(cap3),
-				fmt.Sprint(audit.WithinLemma4), fmt.Sprint(audit.Scheduled), fmt.Sprint(audit.Overflowed))
+			a := a
+			points = append(points, runner.Point{
+				Cells: []runner.Cell{{Name: a.Name(), Run: func(seed int64, m *obs.Metrics) (runner.Outcome, error) {
+					b := bucket.New(bucket.Options{Batch: a})
+					in, err := genUniform(g, 2, g.N()/2, 3, core.Time(g.Diameter())*4, seed)
+					if err != nil {
+						return runner.Outcome{}, err
+					}
+					rr, err := sched.Run(in, b, sched.Options{Obs: m})
+					if err != nil {
+						return runner.Outcome{}, err
+					}
+					audit := b.Audit()
+					nd := uint64(g.N()) * uint64(g.Diameter())
+					cap3 := bits.Len64(nd-1) + 1
+					if audit.MaxLevelUsed > cap3 {
+						return runner.Outcome{}, fmt.Errorf("T3: %s: level %d beyond Lemma 3 cap %d", g, audit.MaxLevelUsed, cap3)
+					}
+					out := runner.FromRunResult(rr)
+					out.Extra = map[string]float64{
+						"maxLevel":  float64(audit.MaxLevelUsed),
+						"cap3":      float64(cap3),
+						"within4":   float64(audit.WithinLemma4),
+						"scheduled": float64(audit.Scheduled),
+						"overflows": float64(audit.Overflowed),
+					}
+					return out, nil
+				}}},
+				Row: func(cs []runner.Agg) ([]string, error) {
+					if err := runner.FirstErr(cs); err != nil {
+						return nil, err
+					}
+					c := cs[0]
+					return []string{g.Name(), a.Name(), c.Int(c.X("maxLevel")), c.Int(c.X("cap3")),
+						c.Int(c.X("within4")), c.Int(c.X("scheduled")), c.Int(c.X("overflows"))}, nil
+				},
+			})
 		}
 	}
-	return t, nil
+	return runSweep(cfg, 1, t, points)
 }
 
 // figure8Crossover compares greedy and bucket as the diameter grows (rings
@@ -181,35 +222,41 @@ func table3BucketLemmas(cfg Config) (*stats.Table, error) {
 // conversion catches up as D grows (Section III-E's closing discussion).
 func figure8Crossover(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Figure 8 — greedy vs bucket as diameter grows (rings)",
-		"n", "D", "greedy max", "bucket max", "greedy mean", "bucket mean")
+		"n", "D", "greedy max", "±", "bucket max", "greedy mean", "bucket mean")
 	ns := []int{8, 16, 32, 64, 128, 256}
 	if cfg.Quick {
 		ns = []int{8, 32}
 	}
+	var points []runner.Point
 	for _, n := range ns {
 		g, err := graph.Ring(n)
 		if err != nil {
 			return nil, err
 		}
+		n := n
 		period := core.Time(g.Diameter())
-		mg, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, 2, n/2, 3, period, seed)
-			return in, newGreedy(), err
-		})
-		if err != nil {
-			return nil, err
+		mkIn := func(seed int64) (*core.Instance, error) {
+			return genUniform(g, 2, n/2, 3, period, seed)
 		}
-		mb, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, 2, n/2, 3, period, seed)
-			return in, newBucketTour(), err
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{
+				{Name: "greedy", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+					in, err := mkIn(seed)
+					return in, newGreedy(), err
+				})},
+				{Name: "bucket", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+					in, err := mkIn(seed)
+					return in, newBucketTour(), err
+				})},
+			},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				mg, mb := cs[0], cs[1]
+				return []string{fmt.Sprint(n), fmt.Sprint(g.Diameter()), mg.F2(mg.MaxRatio.Mean), mg.Spread(mg.MaxRatio),
+					mb.F2(mb.MaxRatio.Mean), mg.F2(mg.MeanRatio.Mean), mb.F2(mb.MeanRatio.Mean)}, nil
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprint(n), fmt.Sprint(g.Diameter()), f2(mg.maxRatio), f2(mb.maxRatio),
-			f2(mg.meanRatio), f2(mb.meanRatio))
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }
 
 // table7BucketAblation isolates the leveled-bucket design: local
@@ -257,20 +304,36 @@ func table7BucketAblation(cfg Config) (*stats.Table, error) {
 		}
 		return s / float64(len(ids))
 	}
+	var points []runner.Point
 	for _, variant := range []struct {
 		name  string
 		force bool
 	}{{"leveled (Algorithm 2)", false}, {"single top bucket", true}} {
-		in, local, far := build()
-		b := bucket.New(bucket.Options{Batch: batch.Tour{}, ForceTopLevel: variant.force})
-		rr, err := sched.Run(in, b, sched.Options{Obs: cfg.Obs})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(variant.name, f1(meanOf(rr.Latency, local)), f1(meanOf(rr.Latency, far)),
-			fmt.Sprint(rr.Makespan))
+		variant := variant
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{{Name: variant.name, Run: func(seed int64, m *obs.Metrics) (runner.Outcome, error) {
+				in, local, far := build()
+				b := bucket.New(bucket.Options{Batch: batch.Tour{}, ForceTopLevel: variant.force})
+				rr, err := sched.Run(in, b, sched.Options{Obs: m})
+				if err != nil {
+					return runner.Outcome{}, err
+				}
+				out := runner.FromRunResult(rr)
+				out.Extra = map[string]float64{
+					"localLat": meanOf(rr.Latency, local),
+					"farLat":   meanOf(rr.Latency, far),
+				}
+				return out, nil
+			}}},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				if err := runner.FirstErr(cs); err != nil {
+					return nil, err
+				}
+				c := cs[0]
+				return []string{variant.name, c.F1(c.X("localLat").Mean), c.F1(c.X("farLat").Mean),
+					c.Int(c.Makespan)}, nil
+			},
+		})
 	}
-	return t, nil
+	return runSweep(cfg, 1, t, points)
 }
-
-var _ = workload.Config{} // keep the import stable across edits

@@ -1,10 +1,9 @@
 package experiments
 
 import (
-	"fmt"
-
 	"dtm/internal/core"
 	"dtm/internal/graph"
+	"dtm/internal/runner"
 	"dtm/internal/sched"
 	"dtm/internal/stats"
 	"dtm/internal/workload"
@@ -17,7 +16,7 @@ import (
 // families on a grid.
 func figure11TimeVsComm(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Figure 11 — execution time vs communication cost (ref [5]'s tension)",
-		"scheduler", "max ratio", "mean ratio", "makespan", "total comm", "comm / makespan")
+		"scheduler", "max ratio", "±", "mean ratio", "makespan", "total comm", "comm / makespan")
 	n := 6
 	if cfg.Quick {
 		n = 4
@@ -35,30 +34,25 @@ func figure11TimeVsComm(cfg Config) (*stats.Table, error) {
 		{"bucket(list)", func() sched.Scheduler { return newBucketList() }},
 		{"bucket(tour) (TSP baseline, ref [30])", newBucketTour},
 	}
+	var points []runner.Point
 	for _, e := range entries {
-		var maxR, meanR, mkspan, comm float64
-		trials := cfg.trials()
-		for tr := 0; tr < trials; tr++ {
-			in, err := workload.Generate(g, workload.Config{
-				K: 2, NumObjects: g.N() / 2, Rounds: 3,
-				Arrival: workload.ArrivalPeriodic, Period: core.Time(g.Diameter()),
-				Seed: cfg.Seed + int64(tr)*7,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rr, err := sched.Run(in, e.mk(), sched.Options{Obs: cfg.Obs})
-			if err != nil {
-				return nil, err
-			}
-			maxR += rr.MaxRatio
-			meanR += rr.MeanRatio()
-			mkspan += float64(rr.Makespan)
-			comm += float64(rr.TotalComm)
-		}
-		f := float64(trials)
-		t.AddRow(e.name, f2(maxR/f), f2(meanR/f), f1(mkspan/f), f1(comm/f),
-			fmt.Sprintf("%.2f", comm/mkspan))
+		e := e
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{{Name: e.name, Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+				in, err := workload.Generate(g, workload.Config{
+					K: 2, NumObjects: g.N() / 2, Rounds: 3,
+					Arrival: workload.ArrivalPeriodic, Period: core.Time(g.Diameter()),
+					Seed: seed,
+				})
+				return in, e.mk(), err
+			})}},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				c := cs[0]
+				return []string{e.name, c.F2(c.MaxRatio.Mean), c.Spread(c.MaxRatio), c.F2(c.MeanRatio.Mean),
+					c.F1(c.Makespan.Mean), c.F1(c.TotalComm.Mean),
+					c.F2(c.TotalComm.Mean / c.Makespan.Mean)}, nil
+			},
+		})
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }

@@ -8,10 +8,45 @@ import (
 	"dtm/internal/distbucket"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
+	"dtm/internal/obs"
+	"dtm/internal/runner"
 	"dtm/internal/sched"
 	"dtm/internal/stats"
 	"dtm/internal/workload"
 )
+
+// distCell runs the Algorithm 3 protocol as a sweep cell at the given
+// slow factor, surfacing the protocol statistics through Extra.
+func distCell(g *graph.Graph, slow int) runner.CellFunc {
+	return func(seed int64, m *obs.Metrics) (runner.Outcome, error) {
+		in, err := genDistWorkload(g, seed)
+		if err != nil {
+			return runner.Outcome{}, err
+		}
+		res, err := distbucket.Run(in, distbucket.Options{
+			Options: sched.Options{Sim: core.SimOptions{SlowFactor: slow}, Obs: m},
+			Batch:   batch.Tour{}, Seed: seed, Parallel: true,
+		})
+		if err != nil {
+			return runner.Outcome{}, err
+		}
+		out := runner.FromRunResult(res.RunResult)
+		out.Extra = map[string]float64{
+			"messages":    float64(res.Messages),
+			"coverLayers": float64(res.CoverLayers),
+			"subLayers":   float64(res.SubLayers),
+		}
+		return out, nil
+	}
+}
+
+func genDistWorkload(g *graph.Graph, seed int64) (*core.Instance, error) {
+	return workload.Generate(g, workload.Config{
+		K: 2, NumObjects: g.N() / 2, Rounds: 2,
+		Arrival: workload.ArrivalPeriodic, Period: core.Time(g.Diameter()) * 4,
+		Seed: seed,
+	})
+}
 
 // table4Distributed compares the centralized bucket schedule (Algorithm 2,
 // zero-latency oracle) with the fully distributed protocol (Algorithm 3):
@@ -27,35 +62,44 @@ func table4Distributed(cfg Config) (*stats.Table, error) {
 	if cfg.Quick {
 		graphs = graphs[:1]
 	}
+	var points []runner.Point
 	for _, mk := range graphs {
 		g, err := mk()
 		if err != nil {
 			return nil, err
 		}
-		in, err := workload.Generate(g, workload.Config{
-			K: 2, NumObjects: g.N() / 2, Rounds: 2,
-			Arrival: workload.ArrivalPeriodic, Period: core.Time(g.Diameter()) * 4,
-			Seed: cfg.Seed,
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{
+				// The centralized bucket runs with the same half-speed
+				// objects so the comparison isolates the coordination
+				// overhead.
+				{Name: "central", Run: func(seed int64, m *obs.Metrics) (runner.Outcome, error) {
+					in, err := genDistWorkload(g, seed)
+					if err != nil {
+						return runner.Outcome{}, err
+					}
+					rr, err := sched.Run(in, newBucketTourSlow(2),
+						sched.Options{Sim: core.SimOptions{SlowFactor: 2}, Obs: m})
+					if err != nil {
+						return runner.Outcome{}, err
+					}
+					return runner.FromRunResult(rr), nil
+				}},
+				{Name: "distrib", Run: distCell(g, 0)},
+			},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				if err := runner.FirstErr(cs); err != nil {
+					return nil, err
+				}
+				central, dist := cs[0], cs[1]
+				overhead := dist.MaxRatio.Mean / central.MaxRatio.Mean
+				return []string{g.Name(), central.F2(central.MaxRatio.Mean), dist.F2(dist.MaxRatio.Mean),
+					dist.F2(overhead), central.Int(central.Makespan), dist.Int(dist.Makespan),
+					dist.Int(dist.X("messages")), dist.Int(dist.X("coverLayers")), dist.Int(dist.X("subLayers"))}, nil
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		// Run the centralized bucket with the same half-speed objects so
-		// the comparison isolates the coordination overhead.
-		central, err := sched.Run(in, newBucketTourSlow(2), sched.Options{Sim: core.SimOptions{SlowFactor: 2}, Obs: cfg.Obs})
-		if err != nil {
-			return nil, err
-		}
-		dist, err := distbucket.Run(in, distbucket.Options{Options: sched.Options{Obs: cfg.Obs}, Batch: batch.Tour{}, Seed: cfg.Seed, Parallel: true})
-		if err != nil {
-			return nil, err
-		}
-		overhead := dist.MaxRatio / central.MaxRatio
-		t.AddRow(g.Name(), f2(central.MaxRatio), f2(dist.MaxRatio), f2(overhead),
-			fmt.Sprint(central.Makespan), fmt.Sprint(dist.Makespan),
-			fmt.Sprint(dist.Messages), fmt.Sprint(dist.CoverLayers), fmt.Sprint(dist.SubLayers))
 	}
-	return t, nil
+	return runSweep(cfg, 1, t, points)
 }
 
 // table5Coordinator measures the Section III-E funnel: the same greedy
@@ -63,7 +107,7 @@ func table4Distributed(cfg Config) (*stats.Table, error) {
 // a diameter-proportional factor.
 func table5Coordinator(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Table 5 — hub coordinator overhead (Section III-E: O(diameter) factor)",
-		"graph", "D", "oracle max lat", "coord max lat", "lat overhead", "oracle max ratio", "coord max ratio")
+		"graph", "D", "oracle max lat", "coord max lat", "±", "lat overhead", "oracle max ratio", "coord max ratio")
 	graphs := []func() (*graph.Graph, error){
 		func() (*graph.Graph, error) { return graph.Clique(32) },
 		func() (*graph.Graph, error) { return graph.Hypercube(5) },
@@ -72,29 +116,35 @@ func table5Coordinator(cfg Config) (*stats.Table, error) {
 	if cfg.Quick {
 		graphs = graphs[:1]
 	}
+	var points []runner.Point
 	for _, mk := range graphs {
 		g, err := mk()
 		if err != nil {
 			return nil, err
 		}
-		mo, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, 3, g.N(), 3, core.Time(g.Diameter())*2, seed)
-			return in, newGreedy(), err
-		})
-		if err != nil {
-			return nil, err
+		mkIn := func(seed int64) (*core.Instance, error) {
+			return genUniform(g, 3, g.N(), 3, core.Time(g.Diameter())*2, seed)
 		}
-		mc, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, 3, g.N(), 3, core.Time(g.Diameter())*2, seed)
-			return in, greedy.NewCoordinator(0, greedy.Options{}), err
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{
+				{Name: "oracle", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+					in, err := mkIn(seed)
+					return in, newGreedy(), err
+				})},
+				{Name: "coord", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+					in, err := mkIn(seed)
+					return in, greedy.NewCoordinator(0, greedy.Options{}), err
+				})},
+			},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				mo, mc := cs[0], cs[1]
+				return []string{g.Name(), fmt.Sprint(g.Diameter()), mo.F1(mo.MaxLat.Mean),
+					mc.F1(mc.MaxLat.Mean), mc.Spread(mc.MaxLat), mc.F2(mc.MaxLat.Mean / mo.MaxLat.Mean),
+					mo.F2(mo.MaxRatio.Mean), mc.F2(mc.MaxRatio.Mean)}, nil
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(g.Name(), fmt.Sprint(g.Diameter()), f1(mo.maxLat), f1(mc.maxLat),
-			f2(mc.maxLat/mo.maxLat), f2(mo.maxRatio), f2(mc.maxRatio))
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }
 
 // figure9HalfSpeed ablates the Section V half-speed device: both speeds
@@ -110,35 +160,27 @@ func figure9HalfSpeed(cfg Config) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	in, err := workload.Generate(g, workload.Config{
-		K: 2, NumObjects: g.N() / 2, Rounds: 2,
-		Arrival: workload.ArrivalPeriodic, Period: core.Time(g.Diameter()) * 4,
-		Seed: cfg.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	var mkHalf, mkFull core.Time
-	for _, slow := range []int{1, 2} {
-		res, err := distbucket.Run(in, distbucket.Options{
-			Options: sched.Options{Sim: core.SimOptions{SlowFactor: slow}, Obs: cfg.Obs},
-			Batch:   batch.Tour{}, Seed: cfg.Seed, Parallel: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		label := "full (1x)"
-		if slow == 2 {
-			label = "half (paper, 2x per edge)"
-			mkHalf = res.Makespan
-		} else {
-			mkFull = res.Makespan
-		}
-		t.AddRow(label, fmt.Sprint(res.Makespan), f2(res.MaxRatio), f2(res.MeanRatio()),
-			fmt.Sprint(res.Messages))
-	}
-	if mkHalf < mkFull {
-		return nil, fmt.Errorf("F9: half-speed makespan %d below full-speed %d", mkHalf, mkFull)
-	}
-	return t, nil
+	labels := []string{"full (1x)", "half (paper, 2x per edge)"}
+	points := []runner.Point{{
+		Cells: []runner.Cell{
+			{Name: labels[0], Run: distCell(g, 1)},
+			{Name: labels[1], Run: distCell(g, 2)},
+		},
+		Rows: func(cs []runner.Agg) ([][]string, error) {
+			if err := runner.FirstErr(cs); err != nil {
+				return nil, err
+			}
+			if cs[1].Makespan.Mean < cs[0].Makespan.Mean {
+				return nil, fmt.Errorf("F9: half-speed makespan %.0f below full-speed %.0f",
+					cs[1].Makespan.Mean, cs[0].Makespan.Mean)
+			}
+			var rows [][]string
+			for i, c := range cs {
+				rows = append(rows, []string{labels[i], c.Int(c.Makespan), c.F2(c.MaxRatio.Mean),
+					c.F2(c.MeanRatio.Mean), c.Int(c.X("messages"))})
+			}
+			return rows, nil
+		},
+	}}
+	return runSweep(cfg, 1, t, points)
 }

@@ -3,7 +3,9 @@
 // has no tables or figures — so DESIGN.md §5 defines a constructed
 // evaluation in which every theorem, lemma, and contribution-list bound
 // becomes a measurable experiment; EXPERIMENTS.md records claim vs.
-// measurement. Each experiment returns a text table; the root
+// measurement. Each experiment declares its sweep grid through
+// internal/runner (which parallelizes the seeded trial cells with
+// deterministic aggregation) and returns a text table; the root
 // bench_test.go and cmd/dtmbench regenerate them.
 //
 // Competitive ratios are measured against computed lower bounds on the
@@ -20,6 +22,7 @@ import (
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
 	"dtm/internal/obs"
+	"dtm/internal/runner"
 	"dtm/internal/sched"
 	"dtm/internal/stats"
 	"dtm/internal/workload"
@@ -35,6 +38,10 @@ type Config struct {
 	// Trials averages each sweep point over this many seeds (default 3,
 	// 1 when Quick).
 	Trials int
+	// Workers bounds the sweep runner's worker pool: 0 = GOMAXPROCS,
+	// 1 = sequential. Parallel and sequential sweeps render
+	// byte-identical tables (the runner's determinism contract).
+	Workers int
 	// Obs, when set, accumulates metrics across every run the experiment
 	// performs (cmd/dtmbench -metrics).
 	Obs *obs.Metrics
@@ -98,38 +105,27 @@ func ByID(id string) (Experiment, bool) {
 
 // --- shared helpers ---
 
-// measured aggregates competitive-ratio statistics over trials.
-type measured struct {
-	maxRatio  float64
-	meanRatio float64
-	makespan  float64
-	maxLat    float64
+// sweep builds the declarative runner sweep for this config: every
+// experiment routes its grid through internal/runner, which executes all
+// (point, cell, trial) combinations over a bounded worker pool with
+// deterministic aggregation.
+func (c Config) sweep(trials int, points []runner.Point) runner.Sweep {
+	return runner.Sweep{
+		Points:  points,
+		Trials:  trials,
+		Seed:    c.Seed,
+		Workers: c.Workers,
+		Obs:     c.Obs,
+	}
 }
 
-// runTrials runs the scheduler factory over `trials` seeds and averages.
-func runTrials(cfg Config, trials int, mk func(seed int64) (*core.Instance, sched.Scheduler, error)) (measured, error) {
-	var m measured
-	for tr := 0; tr < trials; tr++ {
-		seed := cfg.Seed + int64(tr)*101
-		in, s, err := mk(seed)
-		if err != nil {
-			return m, err
-		}
-		rr, err := sched.Run(in, s, sched.Options{Obs: cfg.Obs})
-		if err != nil {
-			return m, fmt.Errorf("%s: %w", s.Name(), err)
-		}
-		m.maxRatio += rr.MaxRatio
-		m.meanRatio += rr.MeanRatio()
-		m.makespan += float64(rr.Makespan)
-		m.maxLat += float64(rr.MaxLat)
+// runSweep executes the sweep over `trials` seeds per cell, appending one
+// row per point to t.
+func runSweep(cfg Config, trials int, t *stats.Table, points []runner.Point) (*stats.Table, error) {
+	if err := cfg.sweep(trials, points).Run(t); err != nil {
+		return nil, err
 	}
-	f := float64(trials)
-	m.maxRatio /= f
-	m.meanRatio /= f
-	m.makespan /= f
-	m.maxLat /= f
-	return m, nil
+	return t, nil
 }
 
 // genUniform is the canonical workload: every node issues `rounds`

@@ -78,3 +78,35 @@ func parseF(t *testing.T, s string) float64 {
 	}
 	return x
 }
+
+// TestParallelDeterminism is the harness-wide determinism contract: every
+// experiment renders a byte-identical table whether its trials ran
+// sequentially or on a multi-worker pool.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	render := func(e Experiment, workers int) string {
+		t.Helper()
+		tb, err := e.Run(Config{Quick: true, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatalf("%s (workers=%d): %v", e.ID, workers, err)
+		}
+		var b strings.Builder
+		if err := tb.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			seq := render(e, 1)
+			for _, workers := range []int{0, 3} {
+				if par := render(e, workers); par != seq {
+					t.Errorf("workers=%d output differs from sequential:\nseq:\n%s\npar:\n%s", workers, seq, par)
+				}
+			}
+		})
+	}
+}

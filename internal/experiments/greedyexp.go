@@ -7,6 +7,8 @@ import (
 	"dtm/internal/core"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
+	"dtm/internal/obs"
+	"dtm/internal/runner"
 	"dtm/internal/sched"
 	"dtm/internal/stats"
 )
@@ -15,7 +17,7 @@ import (
 // run per topology with the scheduler the paper prescribes for it.
 func table1Summary(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Table 1 — competitive ratio by topology (measured vs claimed)",
-		"topology", "n", "D", "scheduler", "k", "max ratio", "mean ratio", "paper bound")
+		"topology", "n", "D", "scheduler", "k", "max ratio", "±", "mean ratio", "paper bound")
 	scale := 1
 	if cfg.Quick {
 		scale = 2
@@ -38,30 +40,37 @@ func table1Summary(cfg Config) (*stats.Table, error) {
 			return graph.Star(graph.StarSpec{Rays: 8 / scale, RayLen: 16 / scale})
 		}, newBucketTour, "O(log β·min(kβ,log_c^k m)·log^3 n)"},
 	}
+	var points []runner.Point
 	for _, row := range rows {
 		g, err := row.mkGraph()
 		if err != nil {
 			return nil, err
 		}
-		m, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, k, g.N(), 3, core.Time(g.Diameter())*4, seed)
-			return in, row.mkSched(), err
+		mkSched := row.mkSched
+		bound := row.bound
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{{Name: g.Name(), Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+				in, err := genUniform(g, k, g.N(), 3, core.Time(g.Diameter())*4, seed)
+				return in, mkSched(), err
+			})}},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				c := cs[0]
+				if c.Err != nil {
+					return nil, fmt.Errorf("T1 %s: %w", g, c.Err)
+				}
+				return []string{g.Name(), fmt.Sprint(g.N()), fmt.Sprint(g.Diameter()), mkSched().Name(),
+					fmt.Sprint(k), c.F2(c.MaxRatio.Mean), c.Spread(c.MaxRatio), c.F2(c.MeanRatio.Mean), bound}, nil
+			},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("T1 %s: %w", g, err)
-		}
-		s := row.mkSched()
-		t.AddRow(g.Name(), fmt.Sprint(g.N()), fmt.Sprint(g.Diameter()), s.Name(),
-			fmt.Sprint(k), f2(m.maxRatio), f2(m.meanRatio), row.bound)
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }
 
 // figure1CliqueK sweeps k on a fixed clique: Theorem 3 predicts the ratio
 // grows at most linearly in k (ratio/k roughly flat or falling).
 func figure1CliqueK(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Figure 1 — clique: competitive ratio vs k (Theorem 3: O(k))",
-		"k", "max ratio", "mean ratio", "max ratio / k")
+		"k", "max ratio", "±", "mean ratio", "max ratio / k")
 	n := 64
 	ks := []int{1, 2, 4, 8, 16}
 	if cfg.Quick {
@@ -72,87 +81,101 @@ func figure1CliqueK(cfg Config) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	var points []runner.Point
 	for _, k := range ks {
-		k := k
-		m, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, k, n, 4, 2, seed)
-			return in, newGreedy(), err
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{{Name: fmt.Sprintf("k=%d", k), Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+				in, err := genUniform(g, k, n, 4, 2, seed)
+				return in, newGreedy(), err
+			})}},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				c := cs[0]
+				return []string{fmt.Sprint(k), c.F2(c.MaxRatio.Mean), c.Spread(c.MaxRatio),
+					c.F2(c.MeanRatio.Mean), c.F2(c.MaxRatio.Mean / float64(k))}, nil
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprint(k), f2(m.maxRatio), f2(m.meanRatio), f2(m.maxRatio/float64(k)))
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }
 
 // figure2CliqueN sweeps n on the clique at fixed k: the ratio must stay
 // flat (no dependence on n).
 func figure2CliqueN(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Figure 2 — clique: competitive ratio vs n (Theorem 3: independent of n)",
-		"n", "max ratio", "mean ratio")
+		"n", "max ratio", "±", "mean ratio")
 	ns := []int{8, 16, 32, 64, 128, 256, 512}
 	if cfg.Quick {
 		ns = []int{8, 32, 128}
 	}
 	k := 4
+	var points []runner.Point
 	for _, n := range ns {
 		g, err := graph.Clique(n)
 		if err != nil {
 			return nil, err
 		}
-		m, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, k, n, 3, 2, seed)
-			return in, newGreedy(), err
+		n := n
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{{Name: fmt.Sprintf("n=%d", n), Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+				in, err := genUniform(g, k, n, 3, 2, seed)
+				return in, newGreedy(), err
+			})}},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				c := cs[0]
+				return []string{fmt.Sprint(n), c.F2(c.MaxRatio.Mean), c.Spread(c.MaxRatio), c.F2(c.MeanRatio.Mean)}, nil
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprint(n), f2(m.maxRatio), f2(m.meanRatio))
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }
 
 // figure3Hypercube sweeps the hypercube dimension, comparing the Theorem 1
 // general-weight greedy with the Theorem 2 uniform-β overlay (β = log n).
 func figure3Hypercube(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Figure 3 — hypercube: ratio vs n (Section III-D: O(k log n))",
-		"dim", "n", "greedy max", "uniform-β max", "greedy max/(k log n)")
+		"dim", "n", "greedy max", "±", "uniform-β max", "greedy max/(k log n)")
 	dims := []int{3, 4, 5, 6, 7, 8, 9, 10}
 	if cfg.Quick {
 		dims = []int{3, 4, 5, 6}
 	}
 	k := 4
+	var points []runner.Point
 	for _, d := range dims {
 		g, err := graph.Hypercube(d)
 		if err != nil {
 			return nil, err
 		}
-		mg, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, k, g.N(), 3, core.Time(d), seed)
-			return in, newGreedy(), err
-		})
-		if err != nil {
-			return nil, err
+		d := d
+		mkIn := func(seed int64) (*core.Instance, error) {
+			return genUniform(g, k, g.N(), 3, core.Time(d), seed)
 		}
-		mu, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, k, g.N(), 3, core.Time(d), seed)
-			return in, newGreedyUniform(), err
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{
+				{Name: "greedy", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+					in, err := mkIn(seed)
+					return in, newGreedy(), err
+				})},
+				{Name: "uniform", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+					in, err := mkIn(seed)
+					return in, newGreedyUniform(), err
+				})},
+			},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				mg, mu := cs[0], cs[1]
+				norm := mg.MaxRatio.Mean / (float64(k) * math.Log2(float64(g.N())))
+				return []string{fmt.Sprint(d), fmt.Sprint(g.N()), mg.F2(mg.MaxRatio.Mean), mg.Spread(mg.MaxRatio),
+					mu.F2(mu.MaxRatio.Mean), mg.F2(norm)}, nil
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		norm := mg.maxRatio / (float64(k) * math.Log2(float64(g.N())))
-		t.AddRow(fmt.Sprint(d), fmt.Sprint(g.N()), f2(mg.maxRatio), f2(mu.maxRatio), f2(norm))
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }
 
 // figure4ButterflyGrid repeats the sweep on the other O(log n)-diameter
 // architectures of Section III-D.
 func figure4ButterflyGrid(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Figure 4 — butterfly and log n-dim grid: ratio vs n (Section III-D: O(k log n))",
-		"graph", "n", "D", "max ratio", "max ratio/(k log n)")
+		"graph", "n", "D", "max ratio", "±", "max ratio/(k log n)")
 	k := 4
 	bDims := []int{2, 3, 4, 5, 6}
 	gDims := []int{3, 4, 5, 6, 7, 8}
@@ -160,26 +183,13 @@ func figure4ButterflyGrid(cfg Config) (*stats.Table, error) {
 		bDims = []int{2, 3}
 		gDims = []int{3, 5}
 	}
-	add := func(g *graph.Graph) error {
-		m, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-			in, err := genUniform(g, k, g.N(), 3, core.Time(g.Diameter()), seed)
-			return in, newGreedy(), err
-		})
-		if err != nil {
-			return err
-		}
-		norm := m.maxRatio / (float64(k) * math.Log2(float64(g.N())))
-		t.AddRow(g.Name(), fmt.Sprint(g.N()), fmt.Sprint(g.Diameter()), f2(m.maxRatio), f2(norm))
-		return nil
-	}
+	var graphs []*graph.Graph
 	for _, d := range bDims {
 		g, err := graph.Butterfly(d)
 		if err != nil {
 			return nil, err
 		}
-		if err := add(g); err != nil {
-			return nil, err
-		}
+		graphs = append(graphs, g)
 	}
 	for _, d := range gDims {
 		dims := make([]int, d)
@@ -190,11 +200,25 @@ func figure4ButterflyGrid(cfg Config) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := add(g); err != nil {
-			return nil, err
-		}
+		graphs = append(graphs, g)
 	}
-	return t, nil
+	var points []runner.Point
+	for _, g := range graphs {
+		g := g
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{{Name: g.Name(), Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+				in, err := genUniform(g, k, g.N(), 3, core.Time(g.Diameter()), seed)
+				return in, newGreedy(), err
+			})}},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				c := cs[0]
+				norm := c.MaxRatio.Mean / (float64(k) * math.Log2(float64(g.N())))
+				return []string{g.Name(), fmt.Sprint(g.N()), fmt.Sprint(g.Diameter()),
+					c.F2(c.MaxRatio.Mean), c.Spread(c.MaxRatio), c.F2(norm)}, nil
+			},
+		})
+	}
+	return runSweep(cfg, cfg.trials(), t, points)
 }
 
 // table2GreedyBounds audits the Theorem 1/2 per-transaction inequalities on
@@ -215,30 +239,51 @@ func table2GreedyBounds(cfg Config) (*stats.Table, error) {
 		{func() (*graph.Graph, error) { return graph.Line(40) }, false},
 		{func() (*graph.Graph, error) { return graph.RandomConnected(30, 40, 4, 7) }, false},
 	}
+	var points []runner.Point
 	for _, c := range cases {
 		g, err := c.mk()
 		if err != nil {
 			return nil, err
 		}
-		gs := greedy.New(greedy.Options{Uniform: c.uniform})
-		in, err := genUniform(g, 3, g.N(), 3, core.Time(g.Diameter()), cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := sched.Run(in, gs, sched.Options{Obs: cfg.Obs}); err != nil {
-			return nil, err
-		}
-		a := gs.Audit()
-		if a.WithinBound != a.Scheduled {
-			return nil, fmt.Errorf("T2: %s %s: %d/%d transactions exceeded the theorem bound",
-				g, gs.Name(), a.Scheduled-a.WithinBound, a.Scheduled)
-		}
-		mode := "thm1"
-		if c.uniform {
-			mode = "thm2"
-		}
-		t.AddRow(g.Name(), mode, fmt.Sprint(a.Scheduled), fmt.Sprint(a.WithinBound),
-			fmt.Sprint(a.MaxColor), fmt.Sprint(a.MaxBound))
+		uniform := c.uniform
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{{Name: g.Name(), Run: func(seed int64, m *obs.Metrics) (runner.Outcome, error) {
+				gs := greedy.New(greedy.Options{Uniform: uniform})
+				in, err := genUniform(g, 3, g.N(), 3, core.Time(g.Diameter()), seed)
+				if err != nil {
+					return runner.Outcome{}, err
+				}
+				rr, err := sched.Run(in, gs, sched.Options{Obs: m})
+				if err != nil {
+					return runner.Outcome{}, err
+				}
+				a := gs.Audit()
+				if a.WithinBound != a.Scheduled {
+					return runner.Outcome{}, fmt.Errorf("T2: %s %s: %d/%d transactions exceeded the theorem bound",
+						g, gs.Name(), a.Scheduled-a.WithinBound, a.Scheduled)
+				}
+				out := runner.FromRunResult(rr)
+				out.Extra = map[string]float64{
+					"scheduled": float64(a.Scheduled),
+					"within":    float64(a.WithinBound),
+					"maxColor":  float64(a.MaxColor),
+					"maxBound":  float64(a.MaxBound),
+				}
+				return out, nil
+			}}},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				if err := runner.FirstErr(cs); err != nil {
+					return nil, err
+				}
+				a := cs[0]
+				mode := "thm1"
+				if uniform {
+					mode = "thm2"
+				}
+				return []string{g.Name(), mode, a.Int(a.X("scheduled")), a.Int(a.X("within")),
+					a.Int(a.X("maxColor")), a.Int(a.X("maxBound"))}, nil
+			},
+		})
 	}
-	return t, nil
+	return runSweep(cfg, 1, t, points)
 }

@@ -6,6 +6,7 @@ import (
 	"dtm/internal/core"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
+	"dtm/internal/runner"
 	"dtm/internal/sched"
 	"dtm/internal/stats"
 )
@@ -16,7 +17,7 @@ import (
 // ratio.
 func table10HubPlacement(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Table 10 — hub placement for the Section III-E coordinator",
-		"graph", "hub", "hub eccentricity", "max latency", "makespan", "max ratio")
+		"graph", "hub", "hub eccentricity", "max latency", "±", "makespan", "max ratio")
 	type place struct {
 		name string
 		pick func(g *graph.Graph) graph.NodeID
@@ -46,23 +47,28 @@ func table10HubPlacement(cfg Config) (*stats.Table, error) {
 	if cfg.Quick {
 		graphs = graphs[:1]
 	}
+	var points []runner.Point
 	for _, mk := range graphs {
 		g, err := mk()
 		if err != nil {
 			return nil, err
 		}
 		for _, pl := range []place{central, peripheral} {
+			pl := pl
 			hub := pl.pick(g)
-			m, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-				in, err := genUniform(g, 2, g.N()/2, 2, core.Time(g.Diameter())*2, seed)
-				return in, greedy.NewCoordinator(hub, greedy.Options{}), err
+			points = append(points, runner.Point{
+				Cells: []runner.Cell{{Name: pl.name, Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+					in, err := genUniform(g, 2, g.N()/2, 2, core.Time(g.Diameter())*2, seed)
+					return in, greedy.NewCoordinator(hub, greedy.Options{}), err
+				})}},
+				Row: func(cs []runner.Agg) ([]string, error) {
+					c := cs[0]
+					return []string{g.Name(), fmt.Sprintf("%s (node %d)", pl.name, hub),
+						fmt.Sprint(g.Eccentricity(hub)), c.F1(c.MaxLat.Mean), c.Spread(c.MaxLat),
+						c.F1(c.Makespan.Mean), c.F2(c.MaxRatio.Mean)}, nil
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(g.Name(), fmt.Sprintf("%s (node %d)", pl.name, hub),
-				fmt.Sprint(g.Eccentricity(hub)), f1(m.maxLat), f1(m.makespan), f2(m.maxRatio))
 		}
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }

@@ -5,6 +5,7 @@ import (
 
 	"dtm/internal/core"
 	"dtm/internal/graph"
+	"dtm/internal/runner"
 	"dtm/internal/sched"
 	"dtm/internal/stats"
 	"dtm/internal/workload"
@@ -15,7 +16,7 @@ import (
 // remarks leave congestion behavior open; this experiment charts it.
 func figure10Load(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Figure 10 — load sweep (Poisson arrivals; smaller period = heavier load)",
-		"graph", "scheduler", "period", "mean latency", "max latency", "makespan")
+		"graph", "scheduler", "period", "mean latency", "±", "max latency", "makespan")
 	periods := []core.Time{1, 2, 4, 8, 16}
 	if cfg.Quick {
 		periods = []core.Time{2, 8}
@@ -31,35 +32,35 @@ func figure10Load(cfg Config) (*stats.Table, error) {
 	if cfg.Quick {
 		settings = settings[:1]
 	}
+	var points []runner.Point
 	for _, st := range settings {
 		g, err := st.mkGraph()
 		if err != nil {
 			return nil, err
 		}
+		mkSched := st.mkSched
 		for _, period := range periods {
-			var meanLat, maxLat, mkspan float64
-			trials := cfg.trials()
-			for tr := 0; tr < trials; tr++ {
-				in, err := workload.Generate(g, workload.Config{
-					K: 2, NumObjects: g.N(), Rounds: 4,
-					Arrival: workload.ArrivalPoisson, Period: period,
-					Seed: cfg.Seed + int64(tr)*31,
-				})
-				if err != nil {
-					return nil, err
-				}
-				rr, err := sched.Run(in, st.mkSched(), sched.Options{SnapshotEvery: -1, Obs: cfg.Obs})
-				if err != nil {
-					return nil, err
-				}
-				meanLat += rr.MeanLat()
-				maxLat += float64(rr.MaxLat)
-				mkspan += float64(rr.Makespan)
-			}
-			f := float64(trials)
-			t.AddRow(g.Name(), st.mkSched().Name(), fmt.Sprint(period),
-				f1(meanLat/f), f1(maxLat/f), f1(mkspan/f))
+			period := period
+			points = append(points, runner.Point{
+				Cells: []runner.Cell{{
+					Name: fmt.Sprintf("%s/period=%d", g.Name(), period),
+					Run: runner.SchedOpts(sched.Options{SnapshotEvery: -1},
+						func(seed int64) (*core.Instance, sched.Scheduler, error) {
+							in, err := workload.Generate(g, workload.Config{
+								K: 2, NumObjects: g.N(), Rounds: 4,
+								Arrival: workload.ArrivalPoisson, Period: period,
+								Seed: seed,
+							})
+							return in, mkSched(), err
+						}),
+				}},
+				Row: func(cs []runner.Agg) ([]string, error) {
+					c := cs[0]
+					return []string{g.Name(), mkSched().Name(), fmt.Sprint(period),
+						c.F1(c.MeanLat.Mean), c.Spread(c.MeanLat), c.F1(c.MaxLat.Mean), c.F1(c.Makespan.Mean)}, nil
+				},
+			})
 		}
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }

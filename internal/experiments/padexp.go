@@ -6,6 +6,8 @@ import (
 	"dtm/internal/core"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
+	"dtm/internal/obs"
+	"dtm/internal/runner"
 	"dtm/internal/sched"
 	"dtm/internal/stats"
 	"dtm/internal/workload"
@@ -28,43 +30,62 @@ func figure13Padding(cfg Config) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	in, err := workload.Generate(g, workload.Config{
-		K: 2, NumObjects: g.N() / 2, Rounds: 3,
-		Arrival: workload.ArrivalPeriodic, Period: core.Time(g.Diameter()),
-		Pop: workload.PopHotspot, Seed: cfg.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
+	var points []runner.Point
 	for _, pad := range []int{1, 2, 3} {
-		rr, err := sched.Run(in, greedy.New(greedy.Options{Pad: pad}), sched.Options{SnapshotEvery: -1, Obs: cfg.Obs})
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.Replay(in, rr.Decisions, core.SimOptions{LinkCapacity: 1, ElasticExec: true})
-		if err != nil {
-			return nil, err
-		}
-		// Stall per transaction: actual commit minus decided time.
-		decided := make(map[core.TxID]core.Time, len(rr.Decisions))
-		for _, d := range rr.Decisions {
-			decided[d.Tx] = d.Exec
-		}
-		var maxStall, sumStall core.Time
-		for _, tx := range in.Txns {
-			actual := res.Latency[tx.ID] + tx.Arrival
-			stall := actual - decided[tx.ID]
-			if stall > maxStall {
-				maxStall = stall
-			}
-			sumStall += stall
-		}
+		pad := pad
 		name := "greedy (oblivious)"
 		if pad > 1 {
 			name = fmt.Sprintf("greedy+pad%d", pad)
 		}
-		t.AddRow(name, fmt.Sprint(rr.Makespan), fmt.Sprint(res.Makespan),
-			fmt.Sprint(maxStall), f2(float64(sumStall)/float64(len(in.Txns))))
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{{Name: name, Run: func(seed int64, m *obs.Metrics) (runner.Outcome, error) {
+				in, err := workload.Generate(g, workload.Config{
+					K: 2, NumObjects: g.N() / 2, Rounds: 3,
+					Arrival: workload.ArrivalPeriodic, Period: core.Time(g.Diameter()),
+					Pop: workload.PopHotspot, Seed: seed,
+				})
+				if err != nil {
+					return runner.Outcome{}, err
+				}
+				rr, err := sched.Run(in, greedy.New(greedy.Options{Pad: pad}), sched.Options{SnapshotEvery: -1, Obs: m})
+				if err != nil {
+					return runner.Outcome{}, err
+				}
+				res, err := core.Replay(in, rr.Decisions, core.SimOptions{LinkCapacity: 1, ElasticExec: true})
+				if err != nil {
+					return runner.Outcome{}, err
+				}
+				// Stall per transaction: actual commit minus decided time.
+				decided := make(map[core.TxID]core.Time, len(rr.Decisions))
+				for _, d := range rr.Decisions {
+					decided[d.Tx] = d.Exec
+				}
+				var maxStall, sumStall core.Time
+				for _, tx := range in.Txns {
+					actual := res.Latency[tx.ID] + tx.Arrival
+					stall := actual - decided[tx.ID]
+					if stall > maxStall {
+						maxStall = stall
+					}
+					sumStall += stall
+				}
+				out := runner.FromRunResult(rr)
+				out.Extra = map[string]float64{
+					"actualMkspan": float64(res.Makespan),
+					"maxStall":     float64(maxStall),
+					"meanStall":    float64(sumStall) / float64(len(in.Txns)),
+				}
+				return out, nil
+			}}},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				if err := runner.FirstErr(cs); err != nil {
+					return nil, err
+				}
+				c := cs[0]
+				return []string{name, c.Int(c.Makespan), c.Int(c.X("actualMkspan")),
+					c.Int(c.X("maxStall")), c.F2(c.X("meanStall").Mean)}, nil
+			},
+		})
 	}
-	return t, nil
+	return runSweep(cfg, 1, t, points)
 }

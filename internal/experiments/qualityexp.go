@@ -9,9 +9,10 @@ import (
 	"dtm/internal/core"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
+	"dtm/internal/obs"
+	"dtm/internal/runner"
 	"dtm/internal/sched"
 	"dtm/internal/stats"
-	"dtm/internal/workload"
 )
 
 // table8BatchQuality probes Theorem 4's proportionality in b_A: the online
@@ -22,7 +23,7 @@ import (
 // their online ratios.
 func table8BatchQuality(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Table 8 — Theorem 4's b_A dependence: batch quality vs online ratio",
-		"graph", "batch A", "one-shot batch makespan (b_A proxy)", "online max ratio", "online mean ratio")
+		"graph", "batch A", "one-shot batch makespan (b_A proxy)", "online max ratio", "±", "online mean ratio")
 	graphs := []func() (*graph.Graph, error){
 		func() (*graph.Graph, error) { return graph.Line(64) },
 		func() (*graph.Graph, error) { return graph.Star(graph.StarSpec{Rays: 4, RayLen: 8}) },
@@ -37,6 +38,7 @@ func table8BatchQuality(cfg Config) (*stats.Table, error) {
 		batch.List{},
 		batch.Randomized{Seed: cfg.Seed, Tries: 4},
 	}
+	var points []runner.Point
 	for _, mk := range graphs {
 		g, err := mk()
 		if err != nil {
@@ -46,33 +48,44 @@ func table8BatchQuality(cfg Config) (*stats.Table, error) {
 		mkInstance := func(seed int64) (*core.Instance, error) {
 			return genUniform(g, 2, n/2, 3, core.Time(g.Diameter())*2, seed)
 		}
-		// One-shot batch problem: the entire workload at t=0.
-		batchIn, err := mkInstance(cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		avail := make(map[core.ObjID]batch.Avail)
-		for _, o := range batchIn.Objects {
-			avail[o.ID] = batch.Avail{Node: o.Origin, Free: 0}
-		}
-		p := &batch.Problem{G: g, Now: 0, Txns: batchIn.Txns, Avail: avail}
 		for _, a := range algos {
 			a := a
-			oneShot, err := batch.Cost(a, p)
-			if err != nil {
-				return nil, err
-			}
-			m, err := runTrials(cfg, cfg.trials(), func(seed int64) (*core.Instance, sched.Scheduler, error) {
-				in, err := mkInstance(seed)
-				return in, bucket.New(bucket.Options{Batch: a}), err
+			points = append(points, runner.Point{
+				Cells: []runner.Cell{
+					// One-shot batch problem: the entire workload at t=0.
+					{Name: "one-shot", Run: func(seed int64, _ *obs.Metrics) (runner.Outcome, error) {
+						batchIn, err := mkInstance(cfg.Seed)
+						if err != nil {
+							return runner.Outcome{}, err
+						}
+						avail := make(map[core.ObjID]batch.Avail)
+						for _, o := range batchIn.Objects {
+							avail[o.ID] = batch.Avail{Node: o.Origin, Free: 0}
+						}
+						p := &batch.Problem{G: g, Now: 0, Txns: batchIn.Txns, Avail: avail}
+						oneShot, err := batch.Cost(a, p)
+						if err != nil {
+							return runner.Outcome{}, err
+						}
+						return runner.Outcome{Extra: map[string]float64{"oneShot": float64(oneShot)}}, nil
+					}},
+					{Name: "online", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+						in, err := mkInstance(seed)
+						return in, bucket.New(bucket.Options{Batch: a}), err
+					})},
+				},
+				Row: func(cs []runner.Agg) ([]string, error) {
+					if err := runner.FirstErr(cs); err != nil {
+						return nil, err
+					}
+					oneShot, m := cs[0], cs[1]
+					return []string{g.Name(), a.Name(), oneShot.Int(oneShot.X("oneShot")),
+						m.F2(m.MaxRatio.Mean), m.Spread(m.MaxRatio), m.F2(m.MeanRatio.Mean)}, nil
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(g.Name(), a.Name(), fmt.Sprint(oneShot), f2(m.maxRatio), f2(m.meanRatio))
 		}
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }
 
 // table9ClosedLoop runs the paper's exact Section III-C process on the
@@ -81,7 +94,7 @@ func table8BatchQuality(cfg Config) (*stats.Table, error) {
 // and checks Theorem 3's O(k) shape under it.
 func table9ClosedLoop(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable("Table 9 — Theorem 3 under the paper's closed-loop process (clique)",
-		"k", "transactions", "max ratio", "mean ratio", "max ratio / k", "makespan")
+		"k", "transactions", "max ratio", "±", "mean ratio", "max ratio / k", "makespan")
 	n := 32
 	ks := []int{1, 2, 4, 8}
 	rounds := 4
@@ -95,46 +108,45 @@ func table9ClosedLoop(cfg Config) (*stats.Table, error) {
 		return nil, err
 	}
 	numObjects := n
+	var points []runner.Point
 	for _, k := range ks {
-		var maxR, meanR, mkspan float64
-		var txns int
-		trials := cfg.trials()
-		for tr := 0; tr < trials; tr++ {
-			seed := cfg.Seed + int64(tr)*13
-			objects := make([]*core.Object, numObjects)
-			objRng := rand.New(rand.NewSource(seed))
-			for i := range objects {
-				objects[i] = &core.Object{ID: core.ObjID(i), Origin: graph.NodeID(objRng.Intn(n))}
-			}
-			gen := func(node graph.NodeID, round int) []core.ObjID {
-				rng := rand.New(rand.NewSource(seed ^ (int64(node)<<20 + int64(round))))
-				set := make([]core.ObjID, 0, k)
-				seen := make(map[core.ObjID]bool)
-				for len(set) < k {
-					o := core.ObjID(rng.Intn(numObjects))
-					if !seen[o] {
-						seen[o] = true
-						set = append(set, o)
-					}
+		k := k
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{{Name: fmt.Sprintf("k=%d", k), Run: func(seed int64, m *obs.Metrics) (runner.Outcome, error) {
+				objects := make([]*core.Object, numObjects)
+				objRng := rand.New(rand.NewSource(seed))
+				for i := range objects {
+					objects[i] = &core.Object{ID: core.ObjID(i), Origin: graph.NodeID(objRng.Intn(n))}
 				}
-				return core.NormalizeObjects(set)
-			}
-			rr, in, err := sched.RunClosedLoop(g, sched.ClosedLoopConfig{
-				Objects: objects, Rounds: rounds, Gen: gen,
-			}, greedy.New(greedy.Options{}), sched.Options{Obs: cfg.Obs})
-			if err != nil {
-				return nil, err
-			}
-			maxR += rr.MaxRatio
-			meanR += rr.MeanRatio()
-			mkspan += float64(rr.Makespan)
-			txns = len(in.Txns)
-		}
-		f := float64(trials)
-		t.AddRow(fmt.Sprint(k), fmt.Sprint(txns), f2(maxR/f), f2(meanR/f),
-			f2(maxR/f/float64(k)), f1(mkspan/f))
+				gen := func(node graph.NodeID, round int) []core.ObjID {
+					rng := rand.New(rand.NewSource(seed ^ (int64(node)<<20 + int64(round))))
+					set := make([]core.ObjID, 0, k)
+					seen := make(map[core.ObjID]bool)
+					for len(set) < k {
+						o := core.ObjID(rng.Intn(numObjects))
+						if !seen[o] {
+							seen[o] = true
+							set = append(set, o)
+						}
+					}
+					return core.NormalizeObjects(set)
+				}
+				rr, in, err := sched.RunClosedLoop(g, sched.ClosedLoopConfig{
+					Objects: objects, Rounds: rounds, Gen: gen,
+				}, greedy.New(greedy.Options{}), sched.Options{Obs: m})
+				if err != nil {
+					return runner.Outcome{}, err
+				}
+				out := runner.FromRunResult(rr)
+				out.Extra = map[string]float64{"txns": float64(len(in.Txns))}
+				return out, nil
+			}}},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				c := cs[0]
+				return []string{fmt.Sprint(k), c.Int(c.X("txns")), c.F2(c.MaxRatio.Mean), c.Spread(c.MaxRatio),
+					c.F2(c.MeanRatio.Mean), c.F2(c.MaxRatio.Mean / float64(k)), c.F1(c.Makespan.Mean)}, nil
+			},
+		})
 	}
-	return t, nil
+	return runSweep(cfg, cfg.trials(), t, points)
 }
-
-var _ = workload.Config{}

@@ -38,7 +38,7 @@ type Graph struct {
 	adj  [][]Edge
 	m    int
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	trees []*spTree // lazily built shortest-path tree per source
 }
 
@@ -142,14 +142,22 @@ func (g *Graph) EdgeWeight(u, v NodeID) (Weight, bool) {
 }
 
 // tree returns the cached shortest-path tree rooted at src, building it if
-// needed.
+// needed. The read path takes only an RLock, so concurrent sweep cells
+// sharing one topology answer Dist/NextHop queries without serializing;
+// only a cache miss pays the exclusive lock (and re-checks under it).
 func (g *Graph) tree(src NodeID) *spTree {
+	g.mu.RLock()
+	t := g.trees[src]
+	g.mu.RUnlock()
+	if t != nil {
+		return t
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if t := g.trees[src]; t != nil {
 		return t
 	}
-	t := g.dijkstra(src)
+	t = g.dijkstra(src)
 	g.trees[src] = t
 	return t
 }

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -525,5 +527,59 @@ func TestTorus(t *testing.T) {
 	}
 	if d := g3.Diameter(); d != 3 {
 		t.Errorf("torus(6) diameter = %d, want 3 (ring)", d)
+	}
+}
+
+// TestConcurrentQueries hammers the lazily built shortest-path-tree cache
+// from many goroutines (exercising the RWMutex fast path) and checks the
+// answers match a sequential baseline. Run with -race.
+func TestConcurrentQueries(t *testing.T) {
+	g, err := Grid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	base := make([][]Weight, n)
+	for s := 0; s < n; s++ {
+		base[s] = make([]Weight, n)
+		for d := 0; d < n; d++ {
+			base[s][d] = g.Dist(NodeID(s), NodeID(d))
+		}
+	}
+	fresh, err := Grid(5, 5) // cold cache, populated concurrently
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n*n; i++ {
+				s := NodeID((i + w) % n)
+				d := NodeID((i * 7) % n)
+				if got := fresh.Dist(s, d); got != base[s][d] {
+					errs <- fmt.Sprintf("Dist(%d,%d) = %d, want %d", s, d, got, base[s][d])
+					return
+				}
+				if p := fresh.Path(s, d); Weight(len(p)) != base[s][d]+1 {
+					errs <- fmt.Sprintf("Path(%d,%d) has %d nodes, want %d", s, d, len(p), base[s][d]+1)
+					return
+				}
+				if s != d {
+					if h := fresh.NextHop(s, d); fresh.Dist(h, d) != base[s][d]-1 {
+						errs <- fmt.Sprintf("NextHop(%d,%d) = %d does not advance", s, d, h)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
 	}
 }

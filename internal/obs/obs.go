@@ -149,16 +149,24 @@ func (h *Histogram) Observe(v int64) {
 	atomic.AddInt64(&h.counts[i], 1)
 	atomic.AddInt64(&h.count, 1)
 	atomic.AddInt64(&h.sum, v)
+	h.foldMin(v)
+	h.foldMax(v)
+}
+
+func (h *Histogram) foldMin(v int64) {
 	for {
 		m := atomic.LoadInt64(&h.min)
 		if v >= m || atomic.CompareAndSwapInt64(&h.min, m, v) {
-			break
+			return
 		}
 	}
+}
+
+func (h *Histogram) foldMax(v int64) {
 	for {
 		m := atomic.LoadInt64(&h.max)
 		if v <= m || atomic.CompareAndSwapInt64(&h.max, m, v) {
-			break
+			return
 		}
 	}
 }
@@ -323,6 +331,76 @@ func (m *Metrics) Emit(e Event) {
 		return
 	}
 	m.sink.Event(e)
+}
+
+// Merge folds a snapshot of another registry into m. Every fold is
+// commutative and associative — counters and histogram buckets add,
+// gauge values add with maxes maxed, histogram min/max combine — so
+// per-cell registries collected by concurrent sweep workers reach the
+// same final state regardless of completion order. A nil receiver or a
+// nil snapshot is a no-op.
+func (m *Metrics) Merge(s *Snapshot) {
+	if m == nil || s == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		m.Counter(name).Add(v)
+	}
+	for name, gv := range s.Gauges {
+		// Add to the value directly (not via Add, which would fold the
+		// order-dependent running sum into the max) and max the maxes.
+		g := m.Gauge(name)
+		atomic.AddInt64(&g.v, gv.Value)
+		g.bumpMax(gv.Max)
+	}
+	for name, hv := range s.Histograms {
+		h := m.Histogram(name, hv.Bounds)
+		h.merge(hv)
+	}
+}
+
+// merge folds an exported histogram state into h. When the bucket bounds
+// match (the normal case: every cell registers the same instruments),
+// buckets add exactly; mismatched bounds re-bin each source bucket at its
+// upper bound, keeping count/sum/min/max exact and bucket placement
+// approximate.
+func (h *Histogram) merge(hv HistogramValue) {
+	if h == nil || hv.Count == 0 {
+		return
+	}
+	if sameBounds(h.bounds, hv.Bounds) {
+		for i, c := range hv.Counts {
+			atomic.AddInt64(&h.counts[i], c)
+		}
+	} else {
+		for i, c := range hv.Counts {
+			if c == 0 {
+				continue
+			}
+			v := hv.Max
+			if i < len(hv.Bounds) {
+				v = hv.Bounds[i]
+			}
+			j := sort.Search(len(h.bounds), func(j int) bool { return v <= h.bounds[j] })
+			atomic.AddInt64(&h.counts[j], c)
+		}
+	}
+	atomic.AddInt64(&h.count, hv.Count)
+	atomic.AddInt64(&h.sum, hv.Sum)
+	h.foldMin(hv.Min)
+	h.foldMax(hv.Max)
+}
+
+func sameBounds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // GaugeValue is a gauge's exported state.

@@ -166,3 +166,99 @@ func TestExporters(t *testing.T) {
 		}
 	}
 }
+
+func TestMerge(t *testing.T) {
+	a := New()
+	a.Counter("runs").Add(3)
+	a.Gauge("depth").Set(5)
+	a.Histogram("lat", []int64{10, 100}).Observe(7)
+	a.Histogram("lat", []int64{10, 100}).Observe(50)
+
+	b := New()
+	b.Counter("runs").Add(4)
+	b.Counter("only_b").Inc()
+	b.Gauge("depth").Set(2)
+	b.Histogram("lat", []int64{10, 100}).Observe(300)
+
+	m := New()
+	m.Merge(a.Snapshot())
+	m.Merge(b.Snapshot())
+	s := m.Snapshot()
+
+	if s.Counters["runs"] != 7 || s.Counters["only_b"] != 1 {
+		t.Fatalf("counters did not add: %v", s.Counters)
+	}
+	// Gauge values add; maxes max.
+	if g := s.Gauges["depth"]; g.Value != 7 || g.Max != 5 {
+		t.Fatalf("gauge merge wrong: %+v", g)
+	}
+	h := s.Histograms["lat"]
+	if h.Count != 3 || h.Sum != 357 || h.Min != 7 || h.Max != 300 {
+		t.Fatalf("histogram totals wrong: %+v", h)
+	}
+	// Buckets (le_10, le_100, +inf) must add exactly on matching bounds.
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Fatalf("histogram buckets wrong: %v", h.Counts)
+	}
+}
+
+// TestMergeCommutative checks folding order does not change the result —
+// the property the parallel sweep runner relies on.
+func TestMergeCommutative(t *testing.T) {
+	mk := func(n int64) *Snapshot {
+		m := New()
+		m.Counter("c").Add(n)
+		m.Gauge("g").Set(n)
+		m.Histogram("h", PowersOfTwo(8)).Observe(n)
+		return m.Snapshot()
+	}
+	snaps := []*Snapshot{mk(1), mk(16), mk(200)}
+	ab, ba := New(), New()
+	for _, s := range snaps {
+		ab.Merge(s)
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		ba.Merge(snaps[i])
+	}
+	x, y := ab.Snapshot(), ba.Snapshot()
+	if x.Counters["c"] != y.Counters["c"] || x.Gauges["g"] != y.Gauges["g"] {
+		t.Fatalf("merge not commutative: %v vs %v", x, y)
+	}
+	hx, hy := x.Histograms["h"], y.Histograms["h"]
+	if hx.Count != hy.Count || hx.Sum != hy.Sum || hx.Min != hy.Min || hx.Max != hy.Max {
+		t.Fatalf("histogram merge not commutative: %+v vs %+v", hx, hy)
+	}
+}
+
+// TestMergeMismatchedBounds checks the re-binning path keeps the totals
+// exact even when bucket layouts differ.
+func TestMergeMismatchedBounds(t *testing.T) {
+	src := New()
+	h := src.Histogram("lat", []int64{5, 50})
+	h.Observe(3)   // le_5
+	h.Observe(40)  // le_50
+	h.Observe(999) // +inf
+
+	dst := New()
+	dst.Histogram("lat", []int64{10}) // registered first with other bounds
+	dst.Merge(src.Snapshot())
+	got := dst.Snapshot().Histograms["lat"]
+	if got.Count != 3 || got.Sum != 1042 || got.Min != 3 || got.Max != 999 {
+		t.Fatalf("re-binned totals wrong: %+v", got)
+	}
+	// Buckets are approximate: each source bucket lands at its upper bound
+	// (5 → le_10; 50, +inf(max 999) → overflow).
+	if got.Counts[0] != 1 || got.Counts[1] != 2 {
+		t.Fatalf("re-binned buckets wrong: %v", got.Counts)
+	}
+	// Merging nil snapshots and empty histograms is a no-op.
+	dst.Merge(nil)
+	var nilM *Metrics
+	nilM.Merge(src.Snapshot())
+	empty := New()
+	empty.Histogram("lat", []int64{10})
+	dst.Merge(empty.Snapshot())
+	if again := dst.Snapshot().Histograms["lat"]; again.Count != 3 {
+		t.Fatalf("no-op merges changed state: %+v", again)
+	}
+}

@@ -49,6 +49,43 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Sample is the light-weight spread aggregate used by the sweep runner:
+// the mean of a (typically small) trial sample together with its
+// population standard deviation and range. The zero value describes an
+// empty sample.
+type Sample struct {
+	N                   int
+	Mean, Std, Min, Max float64
+}
+
+// NewSample aggregates xs into a Sample without modifying it.
+func NewSample(xs []float64) Sample {
+	if len(xs) == 0 {
+		return Sample{}
+	}
+	s := Sample{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if v := sq / float64(s.N); v > 0 {
+		s.Std = math.Sqrt(v)
+	}
+	return s
+}
+
 // Mean returns the arithmetic mean of the sample (0 for an empty one).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

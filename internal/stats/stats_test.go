@@ -100,3 +100,27 @@ func TestMeanAndPercentile(t *testing.T) {
 		t.Errorf("Percentile P50 %v != Summarize P50 %v", p50, s.P50)
 	}
 }
+
+func TestNewSample(t *testing.T) {
+	s := NewSample([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("basic fields wrong: %+v", s)
+	}
+	if s.Std != 2 { // textbook population stddev of this sample
+		t.Errorf("Std = %v, want 2", s.Std)
+	}
+	if z := NewSample(nil); z != (Sample{}) {
+		t.Errorf("empty sample not zero: %+v", z)
+	}
+	one := NewSample([]float64{3.5})
+	if one.N != 1 || one.Mean != 3.5 || one.Std != 0 || one.Min != 3.5 || one.Max != 3.5 {
+		t.Errorf("single-element sample wrong: %+v", one)
+	}
+	// Constant samples must report exactly zero spread (no float noise).
+	if c := NewSample([]float64{1e9, 1e9, 1e9}); c.Std != 0 {
+		t.Errorf("constant sample Std = %v", c.Std)
+	}
+	if math.IsNaN(NewSample([]float64{}).Mean) {
+		t.Error("empty sample mean is NaN")
+	}
+}
