@@ -31,6 +31,8 @@ bench:
 
 # bench-quick times the full experiment suite sequentially and on the
 # parallel worker pool, verifies the outputs are byte-identical, and
-# writes wall-clock numbers + speedup to BENCH_runner.json.
+# writes wall-clock numbers + speedup to BENCH_runner.json, plus the T11
+# fault-injection sweep rows to BENCH_faults.json.
 bench-quick: build
 	$(GO) run ./cmd/dtmbench -exp all -quick -benchjson BENCH_runner.json >/dev/null
+	$(GO) run ./cmd/dtmbench -quick -faultjson BENCH_faults.json

@@ -79,6 +79,7 @@ func BenchmarkFigure11TimeVsComm(b *testing.B)   { benchExperiment(b, "F11") }
 func BenchmarkFigure12Congestion(b *testing.B)   { benchExperiment(b, "F12") }
 func BenchmarkTable10HubPlacement(b *testing.B)  { benchExperiment(b, "T10") }
 func BenchmarkFigure13Padding(b *testing.B)      { benchExperiment(b, "F13") }
+func BenchmarkTable11Faults(b *testing.B)        { benchExperiment(b, "T11") }
 
 // BenchmarkSweepWorkers times one trial-heavy experiment (T1) at several
 // worker-pool sizes; the rendered tables are byte-identical across them.

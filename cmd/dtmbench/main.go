@@ -7,6 +7,8 @@
 //	dtmbench -exp F5 -csv          # machine-readable output
 //	dtmbench -all -parallel 1      # force sequential trial execution
 //	dtmbench -all -benchjson F.json  # time sequential vs parallel, verify identical
+//	dtmbench -exp t11              # fault-injection sweep (IDs are case-insensitive)
+//	dtmbench -quick -faultjson BENCH_faults.json  # T11 rows as a JSON artifact
 //
 // Trials within each experiment run on the internal/runner worker pool.
 // -parallel selects the pool size: 0 (default) uses GOMAXPROCS, 1 runs
@@ -16,6 +18,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,12 +42,18 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print a JSON metrics report per experiment")
 		parallel  = flag.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		benchjson = flag.String("benchjson", "", "run all experiments sequentially then in parallel, write timing JSON to FILE")
+		faultjson = flag.String("faultjson", "", "run the T11 fault sweep and write its rows as JSON to FILE")
 	)
 	flag.Parse()
 	switch {
 	case *list:
 		for _, e := range experiments.All {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+	case *faultjson != "":
+		if err := runFaultBench(*faultjson, *quick, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "dtmbench:", err)
+			os.Exit(1)
 		}
 	case *benchjson != "":
 		if err := runBench(*benchjson, *quick, *seed); err != nil {
@@ -94,6 +103,58 @@ func runOne(w io.Writer, e experiments.Experiment, quick bool, seed int64, csv, 
 	if metrics {
 		return cfg.Obs.Snapshot().WriteJSON(w)
 	}
+	return nil
+}
+
+// runFaultBench runs the T11 fault-injection sweep and writes its table as
+// a machine-readable JSON report (header + rows) to path, for CI artifacts
+// tracking the protocol's robustness envelope over time.
+func runFaultBench(path string, quick bool, seed int64) error {
+	e, ok := experiments.ByID("T11")
+	if !ok {
+		return fmt.Errorf("fault experiment T11 not registered")
+	}
+	start := time.Now()
+	tb, err := e.Run(experiments.Config{Quick: quick, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("T11: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		return err
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("T11 rendered an empty table")
+	}
+	report := struct {
+		Experiment string     `json:"experiment"`
+		Claim      string     `json:"claim"`
+		Quick      bool       `json:"quick"`
+		Seed       int64      `json:"seed"`
+		Seconds    float64    `json:"seconds"`
+		Header     []string   `json:"header"`
+		Rows       [][]string `json:"rows"`
+	}{
+		Experiment: e.ID,
+		Claim:      e.Claim,
+		Quick:      quick,
+		Seed:       seed,
+		Seconds:    time.Since(start).Seconds(),
+		Header:     records[0],
+		Rows:       records[1:],
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dtmbench: T11 fault sweep (%d rows) written to %s\n", len(report.Rows), path)
 	return nil
 }
 

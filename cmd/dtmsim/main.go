@@ -45,6 +45,13 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		metrics  = flag.Bool("metrics", false, "collect run metrics and print a JSON report")
 		events   = flag.String("events", "", "stream observability events as JSON lines to this file")
+
+		// Fault injection (distributed scheduler only).
+		drop      = flag.Float64("drop", 0, "fault injection: per-message drop probability (distributed only)")
+		dup       = flag.Float64("dup", 0, "fault injection: per-message duplication probability (distributed only)")
+		jitter    = flag.Int64("jitter", 0, "fault injection: max extra delivery delay in steps (distributed only)")
+		crash     = flag.String("crash", "", "fault injection: crash windows, comma-separated node:from:to (distributed only)")
+		faultseed = flag.Int64("faultseed", 0, "fault injection: RNG seed (default -seed)")
 	)
 	flag.Parse()
 	if err := run(params{
@@ -54,6 +61,7 @@ func main() {
 		arrival: *arrival, period: *period, seed: *seed, hub: *hub,
 		capacity: *capacity, traceOut: *traceOut, csv: *csv,
 		metrics: *metrics, eventsOut: *events,
+		drop: *drop, dup: *dup, jitter: *jitter, crash: *crash, faultseed: *faultseed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dtmsim:", err)
 		os.Exit(1)
@@ -74,6 +82,28 @@ type params struct {
 	csv                       bool
 	metrics                   bool
 	eventsOut                 string
+	drop, dup                 float64
+	jitter, faultseed         int64
+	crash                     string
+}
+
+// faultPlan builds the injected fault plan from the CLI flags; the zero
+// plan (no fault flags) keeps the paper's reliable synchronous model.
+func faultPlan(p params) (dtm.FaultPlan, error) {
+	plan := dtm.FaultPlan{
+		Seed:      p.faultseed,
+		Drop:      p.drop,
+		Duplicate: p.dup,
+		MaxJitter: dtm.Time(p.jitter),
+	}
+	if p.crash != "" {
+		cw, err := dtm.ParseCrashWindows(p.crash)
+		if err != nil {
+			return plan, err
+		}
+		plan.Crashes = cw
+	}
+	return plan, nil
 }
 
 func buildGraph(p params) (*dtm.Graph, error) {
@@ -175,10 +205,15 @@ func run(p params) error {
 		return snap.WriteJSON(os.Stdout)
 	}
 
+	plan, err := faultPlan(p)
+	if err != nil {
+		return err
+	}
 	if p.sched == "distributed" {
 		res, err := dtm.RunDistributed(in, dtm.DistributedOptions{
 			Options: dtm.RunOptions{Obs: m},
 			Batch:   batch.Tour{}, Seed: p.seed, Parallel: true,
+			Faults: dtm.FaultOptions{Plan: plan},
 		})
 		if err != nil {
 			return err
@@ -191,7 +226,16 @@ func run(p params) error {
 		}
 		fmt.Printf("protocol: %d messages, %d message-distance, %d cover layers, %d sub-layers, audit %+v\n",
 			res.Messages, res.MsgDistance, res.CoverLayers, res.SubLayers, res.Audit)
+		if plan.Enabled() {
+			fmt.Printf("faults: completion %.3f, %d abandoned\n", res.CompletionRate(), len(res.Abandoned))
+			for _, a := range res.Abandoned {
+				fmt.Printf("  abandoned tx %d: %s\n", a.Tx, a.Reason)
+			}
+		}
 		return report(res.Metrics)
+	}
+	if plan.Enabled() {
+		return fmt.Errorf("fault injection (-drop/-dup/-jitter/-crash) requires -sched distributed")
 	}
 
 	var s dtm.Scheduler

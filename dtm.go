@@ -41,6 +41,7 @@ import (
 	"dtm/internal/core"
 	"dtm/internal/cover"
 	"dtm/internal/distbucket"
+	"dtm/internal/distnet"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
 	"dtm/internal/lowerbound"
@@ -100,9 +101,13 @@ type (
 	BatchScheduler = batch.Scheduler
 	// BatchProblem is an offline batch scheduling problem.
 	BatchProblem = batch.Problem
-	// DistributedOptions configure the Algorithm 3 protocol run.
+	// DistributedOptions configure the Algorithm 3 protocol run,
+	// including the injected fault plan (Faults field).
 	DistributedOptions = distbucket.Options
-	// DistributedResult is the Algorithm 3 run outcome.
+	// DistributedResult is the Algorithm 3 run outcome. It embeds a
+	// RunResult, so the shared surface (Makespan, Latency, Decisions,
+	// Abandoned, CompletionRate, Failed/Err, Metrics) reads the same as
+	// the central drivers'.
 	DistributedResult = distbucket.Result
 	// WorkloadConfig parameterizes Generate.
 	WorkloadConfig = workload.Config
@@ -111,6 +116,35 @@ type (
 	// CoverHierarchy is the Section V hierarchical sparse cover.
 	CoverHierarchy = cover.Hierarchy
 )
+
+// Fault-model types (the unreliable-network extension of Section V's
+// synchronous model). A FaultPlan set in DistributedOptions.Faults.Plan
+// subjects the message-passing engines to seeded, deterministic message
+// drop, duplication, bounded delay jitter, node crash windows, and link
+// outages; the Algorithm 3 protocol recovers with acknowledged, retried
+// requests and reports anything it had to give up on in
+// DistributedResult.Abandoned rather than hanging. The zero plan is
+// byte-identical to the failure-free model.
+type (
+	// FaultPlan describes the injected network faults; resolved from a
+	// seeded RNG per message so sequential and parallel engines agree.
+	FaultPlan = distnet.FaultPlan
+	// FaultOptions bundles a FaultPlan with the recovery layer's retry
+	// knobs (RetrySlack, BackoffCap, MaxAttempts).
+	FaultOptions = distbucket.FaultOptions
+	// CrashWindow takes one node offline over a closed time interval.
+	CrashWindow = distnet.CrashWindow
+	// LinkWindow takes one edge down over a closed time interval.
+	LinkWindow = distnet.LinkWindow
+	// AbandonedTx records one transaction a degraded run gave up on,
+	// with the reason.
+	AbandonedTx = distbucket.AbandonedTx
+)
+
+// ParseCrashWindows parses a comma-separated "node:from:to" crash-window
+// list — the format the CLI -crash flag accepts — into a FaultPlan's
+// Crashes field.
+func ParseCrashWindows(s string) ([]CrashWindow, error) { return distnet.ParseCrashes(s) }
 
 // Observability types. A Metrics registry passed via RunOptions.Obs (or
 // DistributedOptions.Obs) collects counters, gauges, and histograms across
@@ -242,7 +276,10 @@ func Run(in *Instance, s Scheduler, opts RunOptions) (*RunResult, error) {
 
 // RunDistributed executes the Algorithm 3 distributed bucket protocol:
 // decisions are computed by per-node goroutine handlers exchanging
-// messages with real latencies, while objects move at half speed.
+// messages with real latencies, while objects move at half speed. With a
+// fault plan in opts.Faults the network becomes unreliable and the
+// protocol recovers by retrying; transactions it cannot save are listed
+// in DistributedResult.Abandoned instead of hanging the run.
 func RunDistributed(in *Instance, opts DistributedOptions) (*DistributedResult, error) {
 	return distbucket.Run(in, opts)
 }

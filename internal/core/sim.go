@@ -619,7 +619,12 @@ type Result struct {
 	SumLat    Time         // sum of latencies
 	Latency   []Time       // per-transaction latency, indexed by TxID
 	TotalComm graph.Weight // total distance traveled by all objects
-	Err       error        // non-nil if the run violated the model
+	// Err is non-nil if the run violated the model.
+	//
+	// Deprecated: when this Result is consumed through sched.RunResult
+	// (which embeds it), read RunResult.Err instead — it supersedes this
+	// field with driver-level failures the engine never sees.
+	Err error
 }
 
 // MeanLat returns the mean transaction latency.
@@ -681,6 +686,29 @@ type Decision struct {
 	At   Time
 }
 
+// applyDecisions feeds a sorted decision list into the simulation.
+// Decisions sharing a timestamp are applied as one batch before any
+// forwarding happens: all of a step's decisions see that step's object
+// positions (receive/execute/forward step order).
+func applyDecisions(s *Sim, decisions []Decision) error {
+	for i := 0; i < len(decisions); {
+		at := decisions[i].At
+		if at < s.Now() {
+			return fmt.Errorf("core: Replay: decisions not sorted by At")
+		}
+		if err := s.AdvanceTo(at); err != nil {
+			return err
+		}
+		for i < len(decisions) && decisions[i].At == at {
+			if err := s.Decide(decisions[i].Tx, decisions[i].Exec); err != nil {
+				return err
+			}
+			i++
+		}
+	}
+	return nil
+}
+
 // Replay validates a full decision list against the model and returns the
 // run's Result. Decisions must be sorted by At (ties allowed).
 func Replay(in *Instance, decisions []Decision, opts SimOptions) (*Result, error) {
@@ -688,26 +716,54 @@ func Replay(in *Instance, decisions []Decision, opts SimOptions) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	// Decisions sharing a timestamp are applied as one batch before any
-	// forwarding happens: all of a step's decisions see that step's object
-	// positions (receive/execute/forward step order).
-	for i := 0; i < len(decisions); {
-		at := decisions[i].At
-		if at < s.Now() {
-			return nil, fmt.Errorf("core: Replay: decisions not sorted by At")
-		}
-		if err := s.AdvanceTo(at); err != nil {
-			return s.Result(), err
-		}
-		for i < len(decisions) && decisions[i].At == at {
-			if err := s.Decide(decisions[i].Tx, decisions[i].Exec); err != nil {
-				return s.Result(), err
-			}
-			i++
-		}
+	if err := applyDecisions(s, decisions); err != nil {
+		return s.Result(), err
 	}
 	if err := s.RunToCompletion(); err != nil {
 		return s.Result(), err
+	}
+	return s.Result(), nil
+}
+
+// ReplayAbandoned validates the decision list of a degraded run: one that
+// explicitly gave up on the listed transactions (e.g. the distributed
+// protocol under an injected fault plan). The decisions are applied as in
+// Replay, the engine drains its remaining events, and the result is valid
+// iff every transaction either executed or is in the abandoned list —
+// and no abandoned transaction executed. With an empty abandoned list it
+// is exactly Replay.
+func ReplayAbandoned(in *Instance, decisions []Decision, abandoned []TxID, opts SimOptions) (*Result, error) {
+	if len(abandoned) == 0 {
+		return Replay(in, decisions, opts)
+	}
+	s, err := NewSim(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := applyDecisions(s, decisions); err != nil {
+		return s.Result(), err
+	}
+	for {
+		next, ok := s.NextInternalEvent()
+		if !ok {
+			break
+		}
+		if err := s.AdvanceTo(next); err != nil {
+			return s.Result(), err
+		}
+	}
+	skip := make(map[TxID]bool, len(abandoned))
+	for _, tx := range abandoned {
+		skip[tx] = true
+	}
+	for _, tx := range in.Txns {
+		_, done := s.Executed(tx.ID)
+		if skip[tx.ID] && done {
+			return s.Result(), fmt.Errorf("core: ReplayAbandoned: transaction %d marked abandoned but executed", tx.ID)
+		}
+		if !skip[tx.ID] && !done {
+			return s.Result(), fmt.Errorf("core: ReplayAbandoned: transaction %d neither executed nor abandoned", tx.ID)
+		}
 	}
 	return s.Result(), nil
 }

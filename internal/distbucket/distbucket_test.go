@@ -22,11 +22,15 @@ func run(t *testing.T, in *core.Instance, opts Options) *Result {
 	return res
 }
 
-func TestRequiresBatchScheduler(t *testing.T) {
+func TestNilBatchDefaultsToTour(t *testing.T) {
 	g, _ := graph.Line(4)
 	in, _ := workload.SingleObjectChain(g, 0)
-	if _, err := Run(in, Options{}); err == nil {
-		t.Fatal("nil batch scheduler: want error")
+	res, err := Run(in, Options{})
+	if err != nil {
+		t.Fatalf("nil batch scheduler should default to Tour: %v", err)
+	}
+	if want := "distbucket(" + (batch.Tour{}).Name() + ")"; res.Scheduler != want {
+		t.Errorf("scheduler = %q, want %q", res.Scheduler, want)
 	}
 }
 

@@ -44,10 +44,15 @@ import (
 
 type arrivalMsg struct{ Tx core.TxID }
 
+// Attempt fields number the retransmissions of a request (0 = first try).
+// They exist for log/debug value only — receivers treat every attempt the
+// same and deduplicate by content keys — and stay 0 on fault-free runs.
+
 type reqMsg struct {
-	Obj    core.ObjID
-	Tx     core.TxID
-	TxNode graph.NodeID
+	Obj     core.ObjID
+	Tx      core.TxID
+	TxNode  graph.NodeID
+	Attempt int
 }
 
 type txRef struct {
@@ -80,11 +85,13 @@ type reportMsg struct {
 	Node    graph.NodeID
 	Cluster clusterRef
 	Objs    []objSnapshot
+	Attempt int
 }
 
 type reserveMsg struct {
 	Obj     core.ObjID
 	Session int64
+	Attempt int
 }
 
 type grantMsg struct {
@@ -97,11 +104,33 @@ type releaseMsg struct {
 	Obj      core.ObjID
 	Session  int64
 	NewAvail batch.Avail
+	// Restore releases the reservation without touching the home's
+	// availability — an abandoned session returning an object unused.
+	Restore bool
+	Attempt int
 }
 
 type decideMsg struct {
 	Tx   core.TxID
 	Exec core.Time
+}
+
+// Acknowledgements, sent only on faulty networks (cfg.faulty); the
+// fault-free protocol carries no acks, keeping zero-plan runs byte-identical
+// to the original. reserveAckMsg doubles as a queue heartbeat: "your reserve
+// is registered, the object is busy" — it resets the leader's retry backoff
+// so a long legitimate queue wait is not mistaken for loss.
+
+type reportAckMsg struct{ Tx core.TxID }
+
+type reserveAckMsg struct {
+	Obj     core.ObjID
+	Session int64
+}
+
+type releaseAckMsg struct {
+	Obj     core.ObjID
+	Session int64
 }
 
 // decision is what the lockstep driver drains from node handlers.
@@ -122,6 +151,9 @@ type protoMetrics struct {
 	reserves    *obs.Counter   // distbucket.reserves: home reservations received
 	grants      *obs.Counter   // distbucket.grants: grants received by leaders
 	releases    *obs.Counter   // distbucket.releases: home releases received
+	retries     *obs.Counter   // distbucket.retries: requests retransmitted
+	timeouts    *obs.Counter   // distbucket.timeouts: request deadlines expired
+	abandoned   *obs.Counter   // distbucket.abandoned: transactions given up on
 	level       *obs.Histogram // distbucket.bucket_level: insertion level
 }
 
@@ -138,6 +170,9 @@ func newProtoMetrics(m *obs.Metrics) protoMetrics {
 		reserves:    m.Counter("distbucket.reserves"),
 		grants:      m.Counter("distbucket.grants"),
 		releases:    m.Counter("distbucket.releases"),
+		retries:     m.Counter("distbucket.retries"),
+		timeouts:    m.Counter("distbucket.timeouts"),
+		abandoned:   m.Counter("distbucket.abandoned"),
 		level:       m.Histogram("distbucket.bucket_level", obs.PowersOfTwo(6)),
 	}
 }
@@ -151,6 +186,15 @@ type config struct {
 	slow     graph.Weight
 	maxLevel int
 	met      protoMetrics
+
+	// Reliability layer (recovery.go): active only when the network has a
+	// fault plan. With faulty false, every ack/retry/dedup path is skipped
+	// and the protocol is byte-identical to the fault-free original.
+	faulty      bool
+	maxJitter   core.Time // the plan's per-message delay bound
+	slack       core.Time // base retry backoff step
+	backoffCap  core.Time // ceiling on exponential backoff
+	maxAttempts int       // consecutive unanswered attempts before giving up
 }
 
 func (c *config) home(o core.ObjID) graph.NodeID { return c.in.Objects[o].Origin }
@@ -161,12 +205,14 @@ type discovery struct {
 	waiting int
 	objs    []objSnapshot
 	refs    []txRef
+	have    map[core.ObjID]bool // replies received (dedup; faulty runs only)
 }
 
 // reservation serializes leaders' access to one object at its home.
 type reservation struct {
 	holderSession int64
 	holderNode    graph.NodeID
+	holderAvail   batch.Avail // what the grant carried, for idempotent re-grants
 	queue         []reserveReq
 }
 
@@ -200,6 +246,7 @@ type Audit struct {
 	Inserted     int
 	Overflowed   int
 	Activations  int
+	Abandoned    int // transactions given up on under faults
 	MaxLevelUsed int
 	LayerCounts  map[int]int // cover layer chosen per report
 }
@@ -209,6 +256,7 @@ func (a *Audit) merge(b *Audit) {
 	a.Inserted += b.Inserted
 	a.Overflowed += b.Overflowed
 	a.Activations += b.Activations
+	a.Abandoned += b.Abandoned
 	if b.MaxLevelUsed > a.MaxLevelUsed {
 		a.MaxLevelUsed = b.MaxLevelUsed
 	}
@@ -241,7 +289,28 @@ type node struct {
 	// which cluster it reported to (for the Lemma 6 audit).
 	reported map[core.TxID]clusterRef
 
+	// Reliability state (recovery.go); all maps stay empty on fault-free
+	// runs, where no code path touches them.
+	pend         []*pending                // outstanding requests with deadlines
+	abandoned    []AbandonedTx             // transactions this node gave up on
+	sentReports  map[core.TxID]reportMsg   // origin: reports awaiting leader ack
+	seenReports  map[core.TxID]bool        // leader: processed reports (dedup)
+	relBuf       map[objSession]releaseMsg // leader: releases awaiting home ack
+	finishedSess map[objSession]bool       // home: sessions already released
+
 	audit *Audit
+}
+
+// objSession keys per-(object, session) reliability state.
+type objSession struct {
+	obj  core.ObjID
+	sess int64
+}
+
+// AbandonedTx records one transaction the protocol gave up on and why.
+type AbandonedTx struct {
+	Tx     core.TxID
+	Reason string
 }
 
 func newNode(cfg *config, id graph.NodeID) *node {
@@ -256,6 +325,12 @@ func newNode(cfg *config, id graph.NodeID) *node {
 		reported: make(map[core.TxID]clusterRef),
 		known:    make(map[core.ObjID]batch.Avail),
 		audit:    &Audit{LayerCounts: make(map[int]int)},
+	}
+	if cfg.faulty {
+		n.sentReports = make(map[core.TxID]reportMsg)
+		n.seenReports = make(map[core.TxID]bool)
+		n.relBuf = make(map[objSession]releaseMsg)
+		n.finishedSess = make(map[objSession]bool)
 	}
 	for _, o := range cfg.in.Objects {
 		if o.Origin == id {
@@ -281,7 +356,13 @@ func (n *node) HandleEvent(ctx *distnet.Ctx, ev distnet.Event) {
 	case grantMsg:
 		n.onGrant(ctx, p)
 	case releaseMsg:
-		n.onRelease(ctx, p)
+		n.onRelease(ctx, ev.From, p)
+	case reportAckMsg:
+		n.onReportAck(p)
+	case reserveAckMsg:
+		n.onReserveAck(ctx, p)
+	case releaseAckMsg:
+		n.onReleaseAck(p)
 	case decideMsg:
 		// Notification only: the transaction's node learns its execution
 		// time. The decision itself was recorded at the leader when the
@@ -301,16 +382,39 @@ func (n *node) HandleEvent(ctx *distnet.Ctx, ev distnet.Event) {
 func (n *node) onArrival(ctx *distnet.Ctx, m arrivalMsg) {
 	tx := n.cfg.in.Txns[m.Tx]
 	d := &discovery{tx: tx, waiting: len(tx.Objects)}
+	if n.cfg.faulty {
+		d.have = make(map[core.ObjID]bool)
+	}
 	n.discov[m.Tx] = d
 	n.cfg.met.discoveries.Inc()
 	for _, o := range tx.Objects {
 		ctx.Send(n.cfg.home(o), reqMsg{Obj: o, Tx: m.Tx, TxNode: n.id})
+		if n.cfg.faulty {
+			n.track(ctx, &pending{kind: pendDiscover, tx: m.Tx, obj: o, dst: n.cfg.home(o)})
+		}
 	}
 }
 
 // onReq serves a directory lookup: register the requester and reply with
-// availability plus the conflicting transactions known so far.
+// availability plus the conflicting transactions known so far. Retransmitted
+// lookups are served idempotently: the requester keeps its original position
+// in the registration order and receives the same conflict set it would have
+// the first time, so a lost infoMsg is recoverable without double-counting.
 func (n *node) onReq(ctx *distnet.Ctx, from graph.NodeID, m reqMsg) {
+	if n.cfg.faulty {
+		for i, r := range n.reqs[m.Obj] {
+			if r.Tx == m.Tx {
+				conflicts := append([]txRef(nil), n.reqs[m.Obj][:i]...)
+				a, ok := n.avail[m.Obj]
+				if !ok {
+					obj := n.cfg.in.Objects[m.Obj]
+					a = batch.Avail{Node: obj.Origin, Free: obj.Created}
+				}
+				ctx.Send(from, infoMsg{Obj: m.Obj, Tx: m.Tx, Avail: a, Conflicts: conflicts})
+				return
+			}
+		}
+	}
 	conflicts := append([]txRef(nil), n.reqs[m.Obj]...)
 	n.reqs[m.Obj] = append(n.reqs[m.Obj], txRef{Tx: m.Tx, Node: m.TxNode})
 	a, ok := n.avail[m.Obj]
@@ -327,6 +431,12 @@ func (n *node) onInfo(ctx *distnet.Ctx, m infoMsg) {
 	d, ok := n.discov[m.Tx]
 	if !ok {
 		return
+	}
+	if n.cfg.faulty {
+		if d.have[m.Obj] {
+			return // duplicate reply (retransmission or network duplication)
+		}
+		d.have[m.Obj] = true
 	}
 	d.objs = append(d.objs, objSnapshot{Obj: m.Obj, Avail: m.Avail})
 	d.refs = append(d.refs, m.Conflicts...)
@@ -351,7 +461,12 @@ func (n *node) onInfo(ctx *distnet.Ctx, m infoMsg) {
 	ref := clusterRef{Layer: cl.Layer, SubLayer: cl.SubLayer, Index: cl.Index}
 	n.reported[m.Tx] = ref
 	sort.Slice(d.objs, func(i, j int) bool { return d.objs[i].Obj < d.objs[j].Obj })
-	ctx.Send(cl.Leader, reportMsg{Tx: m.Tx, Node: n.id, Cluster: ref, Objs: d.objs})
+	rm := reportMsg{Tx: m.Tx, Node: n.id, Cluster: ref, Objs: d.objs}
+	ctx.Send(cl.Leader, rm)
+	if n.cfg.faulty {
+		n.sentReports[m.Tx] = rm
+		n.track(ctx, &pending{kind: pendReport, tx: m.Tx, dst: cl.Leader})
+	}
 }
 
 // bucketKey identifies one partial bucket: a cluster and a level.
@@ -376,6 +491,14 @@ func bucketKeyLess(a, b bucketKey) bool {
 // onReport places the transaction in the smallest-level partial bucket
 // whose batch cost stays within 2^i, then arms the activation timer.
 func (n *node) onReport(ctx *distnet.Ctx, m reportMsg) {
+	if n.cfg.faulty {
+		if n.seenReports[m.Tx] {
+			ctx.Send(m.Node, reportAckMsg{Tx: m.Tx}) // re-ack: first ack was lost
+			return
+		}
+		n.seenReports[m.Tx] = true
+		ctx.Send(m.Node, reportAckMsg{Tx: m.Tx})
+	}
 	n.audit.Reports++
 	n.cfg.met.reports.Inc()
 	for _, os := range m.Objs {
@@ -454,6 +577,9 @@ func (n *node) problem(txns []*core.Transaction, now core.Time, granted map[core
 // Lower levels first (Section IV-B: lower buckets scheduled before higher
 // ones at coinciding activations).
 func (n *node) onWake(ctx *distnet.Ctx) {
+	if n.cfg.faulty {
+		n.retryDue(ctx)
+	}
 	now := ctx.Now()
 	for key, pds := range n.buckets {
 		if len(pds) == 0 {
@@ -513,16 +639,36 @@ func (n *node) maybeStartSession(ctx *distnet.Ctx) {
 	sort.Slice(s.objs, func(i, j int) bool { return s.objs[i] < s.objs[j] })
 	n.sess = s
 	// Ordered acquisition, one object at a time: deadlock-free.
-	ctx.Send(n.cfg.home(s.objs[0]), reserveMsg{Obj: s.objs[0], Session: s.id})
+	n.sendReserve(ctx, s.objs[0], s.id)
 }
 
-// onReserve serializes leaders at the object's home.
+// sendReserve issues one reservation and, on faulty networks, arms its
+// retry timer.
+func (n *node) sendReserve(ctx *distnet.Ctx, o core.ObjID, session int64) {
+	ctx.Send(n.cfg.home(o), reserveMsg{Obj: o, Session: session})
+	if n.cfg.faulty {
+		n.track(ctx, &pending{kind: pendReserve, obj: o, session: session, dst: n.cfg.home(o)})
+	}
+}
+
+// onReserve serializes leaders at the object's home. Under faults it is
+// idempotent: a retransmission from the current holder re-sends the original
+// grant, one from a queued session heartbeats instead of double-queueing,
+// and one from an already-released session is ignored.
 func (n *node) onReserve(ctx *distnet.Ctx, from graph.NodeID, m reserveMsg) {
 	n.cfg.met.reserves.Inc()
+	if n.cfg.faulty && n.finishedSess[objSession{obj: m.Obj, sess: m.Session}] {
+		return // stale retry: this session already released the object
+	}
 	r := n.reserved[m.Obj]
 	if r == nil {
 		r = &reservation{}
 		n.reserved[m.Obj] = r
+	}
+	if n.cfg.faulty && r.holderSession == m.Session {
+		// The grant was lost in flight: replay it verbatim.
+		ctx.Send(from, grantMsg{Obj: m.Obj, Session: m.Session, Avail: r.holderAvail})
+		return
 	}
 	if r.holderSession == 0 {
 		r.holderSession = m.Session
@@ -532,10 +678,22 @@ func (n *node) onReserve(ctx *distnet.Ctx, from graph.NodeID, m reserveMsg) {
 			obj := n.cfg.in.Objects[m.Obj]
 			a = batch.Avail{Node: obj.Origin, Free: obj.Created}
 		}
+		r.holderAvail = a
 		ctx.Send(from, grantMsg{Obj: m.Obj, Session: m.Session, Avail: a})
 		return
 	}
+	if n.cfg.faulty {
+		for _, q := range r.queue {
+			if q.session == m.Session {
+				ctx.Send(from, reserveAckMsg{Obj: m.Obj, Session: m.Session})
+				return
+			}
+		}
+	}
 	r.queue = append(r.queue, reserveReq{session: m.Session, node: from})
+	if n.cfg.faulty {
+		ctx.Send(from, reserveAckMsg{Obj: m.Obj, Session: m.Session})
+	}
 }
 
 // onGrant advances the session's acquisition; when complete, schedule.
@@ -543,15 +701,23 @@ func (n *node) onGrant(ctx *distnet.Ctx, m grantMsg) {
 	n.cfg.met.grants.Inc()
 	s := n.sess
 	if s == nil || s.id != m.Session {
+		if n.cfg.faulty {
+			// A stale grant for an abandoned session: the abandonment already
+			// sent the home a restore-release, so the reservation is not
+			// leaked — drop the grant.
+			return
+		}
 		// A grant for a session we no longer run would leak the home's
 		// reservation: that is a protocol bug, not a tolerable race.
 		panic(fmt.Sprintf("distbucket: node %d: grant for unknown session %d", n.id, m.Session))
 	}
+	if _, ok := s.granted[m.Obj]; ok {
+		return // duplicated grant
+	}
 	s.granted[m.Obj] = m.Avail
 	s.next++
 	if s.next < len(s.objs) {
-		o := s.objs[s.next]
-		ctx.Send(n.cfg.home(o), reserveMsg{Obj: o, Session: s.id})
+		n.sendReserve(ctx, s.objs[s.next], s.id)
 		return
 	}
 	n.finishSession(ctx)
@@ -602,7 +768,7 @@ func (n *node) finishSession(ctx *distnet.Ctx) {
 			}
 		}
 		n.known[o] = last
-		ctx.Send(n.cfg.home(o), releaseMsg{Obj: o, Session: s.id, NewAvail: last})
+		n.sendRelease(ctx, releaseMsg{Obj: o, Session: s.id, NewAvail: last})
 	}
 	n.sess = nil
 	// Re-arm timers for anything still waiting, then start the next due
@@ -615,15 +781,66 @@ func (n *node) finishSession(ctx *distnet.Ctx) {
 	n.maybeStartSession(ctx)
 }
 
+// sendRelease issues one home release and, on faulty networks, buffers it
+// for retransmission until the home acknowledges.
+func (n *node) sendRelease(ctx *distnet.Ctx, m releaseMsg) {
+	ctx.Send(n.cfg.home(m.Obj), m)
+	if n.cfg.faulty {
+		key := objSession{obj: m.Obj, sess: m.Session}
+		n.relBuf[key] = m
+		n.track(ctx, &pending{kind: pendRelease, obj: m.Obj, session: m.Session, dst: n.cfg.home(m.Obj)})
+	}
+}
+
 // onRelease updates the home's availability and grants the next waiting
-// leader, if any.
-func (n *node) onRelease(ctx *distnet.Ctx, m releaseMsg) {
+// leader, if any. Under faults it additionally handles restore-releases
+// from abandoned sessions (which may still sit in the queue, or hold the
+// object via a grant the leader never saw) and re-acks duplicates.
+func (n *node) onRelease(ctx *distnet.Ctx, from graph.NodeID, m releaseMsg) {
 	n.cfg.met.releases.Inc()
+	key := objSession{obj: m.Obj, sess: m.Session}
+	if n.cfg.faulty {
+		if n.finishedSess[key] {
+			ctx.Send(from, releaseAckMsg{Obj: m.Obj, Session: m.Session})
+			return
+		}
+	}
 	r := n.reserved[m.Obj]
 	if r == nil || r.holderSession != m.Session {
+		if !n.cfg.faulty {
+			return
+		}
+		// An abandoned session releasing an object it never held: drop it
+		// from the wait queue if it is there, and remember the session is
+		// over so late reserve retries do not re-enter it.
+		if r != nil {
+			for i, q := range r.queue {
+				if q.session == m.Session {
+					r.queue = append(r.queue[:i], r.queue[i+1:]...)
+					break
+				}
+			}
+		}
+		n.finishedSess[key] = true
+		ctx.Send(from, releaseAckMsg{Obj: m.Obj, Session: m.Session})
 		return
 	}
-	n.avail[m.Obj] = m.NewAvail
+	if !m.Restore {
+		n.avail[m.Obj] = m.NewAvail
+	}
+	if n.cfg.faulty {
+		n.finishedSess[key] = true
+		ctx.Send(from, releaseAckMsg{Obj: m.Obj, Session: m.Session})
+	}
+	avail := m.NewAvail
+	if m.Restore {
+		if a, ok := n.avail[m.Obj]; ok {
+			avail = a
+		} else {
+			obj := n.cfg.in.Objects[m.Obj]
+			avail = batch.Avail{Node: obj.Origin, Free: obj.Created}
+		}
+	}
 	if len(r.queue) == 0 {
 		delete(n.reserved, m.Obj)
 		return
@@ -632,5 +849,6 @@ func (n *node) onRelease(ctx *distnet.Ctx, m releaseMsg) {
 	r.queue = r.queue[1:]
 	r.holderSession = next.session
 	r.holderNode = next.node
-	ctx.Send(next.node, grantMsg{Obj: m.Obj, Session: next.session, Avail: m.NewAvail})
+	r.holderAvail = avail
+	ctx.Send(next.node, grantMsg{Obj: m.Obj, Session: next.session, Avail: avail})
 }

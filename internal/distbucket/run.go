@@ -3,6 +3,7 @@ package distbucket
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"dtm/internal/batch"
 	"dtm/internal/core"
@@ -18,17 +19,43 @@ import (
 // messages at full speed, objects at half), SnapshotEvery, and Obs.
 type Options struct {
 	sched.Options
-	// Batch is the offline algorithm A to convert. Required.
+	// Batch is the offline algorithm A to convert. Nil means batch.Tour,
+	// the paper's TSP-tour batch scheduler.
 	Batch batch.Scheduler
-	// Seed drives the randomized sparse cover construction.
+	// Seed drives the randomized sparse cover construction, and doubles as
+	// the fault plan's RNG seed when Faults.Plan.Seed is left 0.
 	Seed int64
 	// Parallel runs the network engine with goroutine-per-node steps.
 	Parallel bool
 	// MaxLevel caps bucket levels; 0 means the Lemma 3 bound.
 	MaxLevel int
+	// Faults injects deterministic network faults and configures the
+	// recovery layer. The zero value is the paper's failure-free model.
+	Faults FaultOptions
 }
 
-// Result bundles the run metrics with protocol statistics.
+// FaultOptions bundles the injected network fault plan with the recovery
+// layer's retry knobs.
+type FaultOptions struct {
+	// Plan describes the unreliable network (see distnet.FaultPlan). A
+	// zero plan disables fault injection and the recovery layer entirely.
+	Plan distnet.FaultPlan
+	// RetrySlack is the base backoff step added to a request's worst-case
+	// round trip before the first retry; it doubles per consecutive
+	// unanswered attempt. 0 means 2 steps.
+	RetrySlack core.Time
+	// BackoffCap bounds the exponential backoff. 0 means 64 steps.
+	BackoffCap core.Time
+	// MaxAttempts is how many consecutive unanswered attempts a request
+	// survives before the protocol gives up on it (abandoning the
+	// transaction or session). 0 means 30.
+	MaxAttempts int
+}
+
+// Result bundles the run metrics with protocol statistics. The embedded
+// sched.RunResult carries the shared result surface (Metrics, Failed, Err,
+// Decisions, Abandoned, CompletionRate) so callers consume one shape across
+// the central and distributed drivers.
 type Result struct {
 	*sched.RunResult
 	Audit       Audit
@@ -36,6 +63,10 @@ type Result struct {
 	MsgDistance graph.Weight
 	CoverLayers int
 	SubLayers   int
+	// Abandoned details the transactions the run gave up on under faults
+	// (sorted by ID), with per-transaction reasons; the bare IDs are also
+	// mirrored into RunResult.Abandoned. Empty on fault-free runs.
+	Abandoned []AbandonedTx
 	// Lemma 6 audit: pairs of concurrently-live conflicting transactions
 	// that reported into the same sub-layer, and how many of those landed
 	// in different clusters (the paper proves zero under chase-based
@@ -52,8 +83,13 @@ type Result struct {
 // lockstep.
 func Run(in *core.Instance, opts Options) (*Result, error) {
 	if opts.Batch == nil {
-		return nil, fmt.Errorf("distbucket: no batch scheduler configured")
+		opts.Batch = batch.Tour{}
 	}
+	plan := opts.Faults.Plan
+	if plan.Enabled() && plan.Seed == 0 {
+		plan.Seed = opts.Seed
+	}
+	faulty := plan.Enabled()
 	simOpts := opts.Sim
 	if simOpts.SlowFactor == 0 {
 		simOpts.SlowFactor = 2
@@ -79,13 +115,18 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 		maxLevel = bits.Len64(nd-1) + 1
 	}
 	cfg := &config{
-		in:       in,
-		g:        in.G,
-		hier:     hier,
-		batch:    opts.Batch,
-		slow:     graph.Weight(slow),
-		maxLevel: maxLevel,
-		met:      newProtoMetrics(opts.Obs),
+		in:          in,
+		g:           in.G,
+		hier:        hier,
+		batch:       opts.Batch,
+		slow:        graph.Weight(slow),
+		maxLevel:    maxLevel,
+		met:         newProtoMetrics(opts.Obs),
+		faulty:      faulty,
+		maxJitter:   plan.MaxJitter,
+		slack:       defaultTime(opts.Faults.RetrySlack, 2),
+		backoffCap:  defaultTime(opts.Faults.BackoffCap, 64),
+		maxAttempts: defaultInt(opts.Faults.MaxAttempts, 30),
 	}
 	nodes := make([]*node, in.G.N())
 	handlers := make([]distnet.Handler, in.G.N())
@@ -93,7 +134,7 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 		nodes[i] = newNode(cfg, graph.NodeID(i))
 		handlers[i] = nodes[i]
 	}
-	net, err := distnet.New(in.G, handlers, distnet.Options{Parallel: opts.Parallel, Obs: opts.Obs})
+	net, err := distnet.New(in.G, handlers, distnet.Options{Parallel: opts.Parallel, Faults: plan, Obs: opts.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +148,38 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 	metSnaps := opts.Obs.Counter("sched.snapshots")
 	var snaps []sched.Snapshot
 
+	// driverAbandoned records transactions the driver itself gave up on
+	// (arrivals at crashed origins); node handlers record their own.
+	var driverAbandoned []AbandonedTx
+
+	// collectAbandoned merges the driver's and every node's abandoned
+	// transactions, drops any that were scheduled after all (a lost ack can
+	// make an origin give up on a transaction its leader still scheduled),
+	// dedups, and sorts by ID for determinism.
+	collectAbandoned := func() ([]AbandonedTx, map[core.TxID]bool) {
+		seen := make(map[core.TxID]bool)
+		var ab []AbandonedTx
+		add := func(a AbandonedTx) {
+			if _, ok := sim.Scheduled(a.Tx); ok {
+				return
+			}
+			if !seen[a.Tx] {
+				seen[a.Tx] = true
+				ab = append(ab, a)
+			}
+		}
+		for _, a := range driverAbandoned {
+			add(a)
+		}
+		for _, nd := range nodes {
+			for _, a := range nd.abandoned {
+				add(a)
+			}
+		}
+		sort.Slice(ab, func(i, j int) bool { return ab[i].Tx < ab[j].Tx })
+		return ab, seen
+	}
+
 	// buildResult assembles the full Result from whatever has happened so
 	// far; fail marks it with the driver error, consistently with the
 	// central drivers.
@@ -118,6 +191,10 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 			MsgDistance: net.MessageDistance(),
 			CoverLayers: hier.NumLayers(),
 			SubLayers:   hier.MaxSubLayers(),
+		}
+		res.Abandoned, _ = collectAbandoned()
+		for _, a := range res.Abandoned {
+			res.RunResult.Abandoned = append(res.RunResult.Abandoned, a.Tx)
 		}
 		for _, nd := range nodes {
 			res.Audit.merge(nd.audit)
@@ -150,7 +227,9 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 			take(st)
 		}
 		if t < 0 {
-			return fail(fmt.Errorf("distbucket: protocol stalled at t=%d with unexecuted transactions", sim.Now()))
+			// No events anywhere. Either the protocol abandoned the rest
+			// (graceful degradation, decided below) or it genuinely stalled.
+			break
 		}
 		if err := sim.AdvanceTo(t); err != nil {
 			return fail(err)
@@ -163,6 +242,17 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 			txns := in.TxnsArriving(t)
 			metArrivals.Add(int64(len(txns)))
 			for _, tx := range txns {
+				if faulty && plan.CrashedAt(tx.Node, t) {
+					// The origin is down when its transaction arrives: with
+					// no process to start discovery, the transaction is
+					// reported abandoned rather than silently lost.
+					driverAbandoned = append(driverAbandoned, AbandonedTx{
+						Tx:     tx.ID,
+						Reason: fmt.Sprintf("origin node %d crashed at arrival t=%d", tx.Node, t),
+					})
+					cfg.met.abandoned.Inc()
+					continue
+				}
 				if err := net.InjectAt(t, tx.Node, arrivalMsg{Tx: tx.ID}); err != nil {
 					return fail(err)
 				}
@@ -182,9 +272,33 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 			nd.decisions = nd.decisions[:0]
 		}
 	}
+	if !sim.AllExecuted() {
+		// The event queues drained early: acceptable only if every
+		// unexecuted transaction was explicitly abandoned.
+		_, abandoned := collectAbandoned()
+		for _, tx := range in.Txns {
+			if _, done := sim.Executed(tx.ID); !done && !abandoned[tx.ID] {
+				return fail(fmt.Errorf("distbucket: protocol stalled at t=%d with unexecuted transaction %d", sim.Now(), tx.ID))
+			}
+		}
+	}
 	res := buildResult()
 	res.Lemma6Pairs, res.Lemma6Violations = lemma6Audit(in, sim, nodes)
 	return res, nil
+}
+
+func defaultTime(v, def core.Time) core.Time {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func defaultInt(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
 }
 
 // lemma6Audit counts concurrently-live conflicting transaction pairs that

@@ -70,12 +70,13 @@ type Handler interface {
 
 // Ctx is the per-invocation capability a handler uses to act on the world.
 type Ctx struct {
-	g    *graph.Graph
-	node graph.NodeID
-	now  core.Time
-	out  []queuedEvent
-	msgs int
-	dist graph.Weight
+	g       *graph.Graph
+	node    graph.NodeID
+	now     core.Time
+	out     []queuedEvent
+	msgs    int
+	dist    graph.Weight
+	seqBase int64 // this node's running send count, for fault keying
 }
 
 // Node returns the executing node.
@@ -95,9 +96,10 @@ func (c *Ctx) Dist(u, v graph.NodeID) graph.Weight { return c.g.Dist(u, v) }
 func (c *Ctx) Send(to graph.NodeID, payload interface{}) {
 	d := c.g.Dist(c.node, to)
 	c.out = append(c.out, queuedEvent{
-		at:   c.now + core.Time(d),
-		node: to,
-		ev:   Event{Kind: KindMessage, From: c.node, Payload: payload},
+		at:     c.now + core.Time(d),
+		node:   to,
+		srcSeq: c.seqBase + int64(c.msgs),
+		ev:     Event{Kind: KindMessage, From: c.node, Payload: payload},
 	})
 	c.msgs++
 	c.dist += d
@@ -116,10 +118,11 @@ func (c *Ctx) WakeAt(t core.Time) {
 }
 
 type queuedEvent struct {
-	at   core.Time
-	node graph.NodeID
-	seq  int
-	ev   Event
+	at     core.Time
+	node   graph.NodeID
+	seq    int
+	srcSeq int64 // index of this send among its source's sends (fault key)
+	ev     Event
 }
 
 type eventQueue []queuedEvent
@@ -148,6 +151,10 @@ func (q *eventQueue) Pop() interface{} {
 type Options struct {
 	// Parallel runs each step's active nodes as concurrent goroutines.
 	Parallel bool
+	// Faults injects deterministic message loss, duplication, delay jitter,
+	// node crashes, and link outages (see FaultPlan). The zero value keeps
+	// the engine on the exact failure-free code path.
+	Faults FaultPlan
 	// Obs, when set, collects message and queue metrics. All accounting
 	// happens in the engine's single-threaded merge phase, so handlers pay
 	// nothing.
@@ -157,12 +164,15 @@ type Options struct {
 // engineMetrics holds the engine's instrument handles; all nil (and free)
 // when observability is disabled.
 type engineMetrics struct {
-	messages  *obs.Counter   // distnet.messages: total messages sent
-	msgDist   *obs.Counter   // distnet.msg_distance: total distance covered
-	msgBytes  *obs.Counter   // distnet.msg_bytes: shallow payload size sum
-	injects   *obs.Counter   // distnet.injects: external events placed
-	wakes     *obs.Counter   // distnet.wakes: timers scheduled
-	nodeQueue *obs.Histogram // distnet.node_queue: events per node per step
+	messages   *obs.Counter   // distnet.messages: total messages sent
+	msgDist    *obs.Counter   // distnet.msg_distance: total distance covered
+	msgBytes   *obs.Counter   // distnet.msg_bytes: shallow payload size sum
+	injects    *obs.Counter   // distnet.injects: external events placed
+	wakes      *obs.Counter   // distnet.wakes: timers scheduled
+	dropped    *obs.Counter   // distnet.dropped: messages lost to faults
+	duplicated *obs.Counter   // distnet.duplicated: messages delivered twice
+	delayed    *obs.Counter   // distnet.delayed: deliveries given extra jitter
+	nodeQueue  *obs.Histogram // distnet.node_queue: events per node per step
 }
 
 func newEngineMetrics(m *obs.Metrics) engineMetrics {
@@ -170,12 +180,15 @@ func newEngineMetrics(m *obs.Metrics) engineMetrics {
 		return engineMetrics{}
 	}
 	return engineMetrics{
-		messages:  m.Counter("distnet.messages"),
-		msgDist:   m.Counter("distnet.msg_distance"),
-		msgBytes:  m.Counter("distnet.msg_bytes"),
-		injects:   m.Counter("distnet.injects"),
-		wakes:     m.Counter("distnet.wakes"),
-		nodeQueue: m.Histogram("distnet.node_queue", obs.PowersOfTwo(10)),
+		messages:   m.Counter("distnet.messages"),
+		msgDist:    m.Counter("distnet.msg_distance"),
+		msgBytes:   m.Counter("distnet.msg_bytes"),
+		injects:    m.Counter("distnet.injects"),
+		wakes:      m.Counter("distnet.wakes"),
+		dropped:    m.Counter("distnet.dropped"),
+		duplicated: m.Counter("distnet.duplicated"),
+		delayed:    m.Counter("distnet.delayed"),
+		nodeQueue:  m.Histogram("distnet.node_queue", obs.PowersOfTwo(10)),
 	}
 }
 
@@ -184,6 +197,7 @@ type Engine struct {
 	g        *graph.Graph
 	handlers []Handler
 	opts     Options
+	faulty   bool
 
 	now   core.Time
 	queue eventQueue
@@ -191,6 +205,11 @@ type Engine struct {
 
 	msgsSent    int
 	msgDistance graph.Weight
+	sendSeq     []int64 // per-node running send count (fault keying)
+
+	dropped    int
+	duplicated int
+	delayed    int
 
 	met    engineMetrics
 	byType map[reflect.Type]*obs.Counter // distnet.msg.<type> cache
@@ -210,7 +229,12 @@ func New(g *graph.Graph, handlers []Handler, opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("distnet: nil handler for node %d", i)
 		}
 	}
-	e := &Engine{g: g, handlers: handlers, opts: opts, met: newEngineMetrics(opts.Obs)}
+	e := &Engine{
+		g: g, handlers: handlers, opts: opts,
+		faulty:  opts.Faults.Enabled(),
+		sendSeq: make([]int64, g.N()),
+		met:     newEngineMetrics(opts.Obs),
+	}
 	if opts.Obs != nil {
 		e.byType = make(map[reflect.Type]*obs.Counter)
 		e.bySize = make(map[reflect.Type]int64)
@@ -254,6 +278,16 @@ func (e *Engine) MessagesSent() int { return e.msgsSent }
 // MessageDistance returns the total distance covered by all messages — the
 // protocol's communication cost.
 func (e *Engine) MessageDistance() graph.Weight { return e.msgDistance }
+
+// Dropped returns the number of messages lost to the fault plan (drops,
+// crash windows, link outages).
+func (e *Engine) Dropped() int { return e.dropped }
+
+// Duplicated returns the number of messages delivered twice.
+func (e *Engine) Duplicated() int { return e.duplicated }
+
+// Delayed returns the number of deliveries that received extra jitter.
+func (e *Engine) Delayed() int { return e.delayed }
 
 // InjectAt places an external event for node at time t (>= now).
 func (e *Engine) InjectAt(t core.Time, node graph.NodeID, payload interface{}) error {
@@ -330,7 +364,7 @@ func (e *Engine) stepOnce(at core.Time) error {
 	ctxs := make([]*Ctx, len(batches))
 	run := func(i int) {
 		b := batches[i]
-		ctx := &Ctx{g: e.g, node: b.node, now: at}
+		ctx := &Ctx{g: e.g, node: b.node, now: at, seqBase: e.sendSeq[b.node]}
 		for _, ev := range b.evs {
 			e.handlers[b.node].HandleEvent(ctx, ev)
 		}
@@ -352,10 +386,12 @@ func (e *Engine) stepOnce(at core.Time) error {
 		}
 	}
 	// Deterministic merge: outboxes in node order, preserving each node's
-	// send order.
+	// send order. Fault decisions also resolve here — single-threaded, and
+	// keyed only on (step, src, dst, srcSeq), so both engines agree.
 	for i, ctx := range ctxs {
 		e.msgsSent += ctx.msgs
 		e.msgDistance += ctx.dist
+		e.sendSeq[ctx.node] += int64(ctx.msgs)
 		if e.opts.Obs != nil {
 			e.met.nodeQueue.Observe(int64(len(batches[i].evs)))
 			e.met.messages.Add(int64(ctx.msgs))
@@ -370,8 +406,47 @@ func (e *Engine) stepOnce(at core.Time) error {
 			}
 		}
 		for _, qe := range ctx.out {
-			e.push(qe)
+			if e.faulty && qe.ev.Kind == KindMessage && qe.node != ctx.node {
+				e.deliverFaulty(ctx.node, at, qe)
+			} else {
+				e.push(qe)
+			}
 		}
 	}
 	return nil
+}
+
+// deliverFaulty resolves the fault plan for one cross-node message sent by
+// src at time `at`: loss (sender/receiver crash, link outage, drop coin),
+// duplication, and bounded delay jitter per delivered copy.
+func (e *Engine) deliverFaulty(src graph.NodeID, at core.Time, qe queuedEvent) {
+	p := &e.opts.Faults
+	dst := qe.node
+	drop := p.CrashedAt(src, at) || p.LinkDownAt(src, dst, at) ||
+		(p.Drop > 0 && p.roll(saltDrop, at, src, dst, qe.srcSeq) < p.Drop)
+	if drop {
+		e.dropped++
+		e.met.dropped.Inc()
+		return
+	}
+	copies := 1
+	if p.Duplicate > 0 && p.roll(saltDup, at, src, dst, qe.srcSeq) < p.Duplicate {
+		copies = 2
+		e.duplicated++
+		e.met.duplicated.Inc()
+	}
+	for c := 0; c < copies; c++ {
+		cp := qe
+		if d := p.jitter(saltJit+uint64(c), at, src, dst, qe.srcSeq); d > 0 {
+			cp.at += d
+			e.delayed++
+			e.met.delayed.Inc()
+		}
+		if p.CrashedAt(dst, cp.at) {
+			e.dropped++
+			e.met.dropped.Inc()
+			continue
+		}
+		e.push(cp)
+	}
 }

@@ -1,0 +1,365 @@
+package distnet
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/obs"
+)
+
+// runFloodPlan drives the flood protocol of distnet_test.go under a fault
+// plan and returns the event trace plus the engine for counter checks.
+func runFloodPlan(t *testing.T, parallel bool, plan FaultPlan) ([]string, *Engine) {
+	t.Helper()
+	g, err := graph.Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []string
+	var mu sync.Mutex
+	hs := make([]Handler, g.N())
+	for i := range hs {
+		hs[i] = &floodProtocol{seen: map[string]bool{}, trace: &trace, mu: &mu}
+	}
+	e, err := New(g, hs, Options{Parallel: parallel, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InjectAt(0, 0, "tokenA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InjectAt(2, 13, "tokenB"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	return trace, e
+}
+
+// A zero plan must leave the engine on the exact fault-free code path:
+// byte-identical trace and zero fault counters.
+func TestZeroPlanIdentical(t *testing.T) {
+	base := runFlood(t, false)
+	zero, e := runFloodPlan(t, false, FaultPlan{})
+	if !reflect.DeepEqual(base, zero) {
+		t.Error("zero FaultPlan changed the trace")
+	}
+	if e.Dropped() != 0 || e.Duplicated() != 0 || e.Delayed() != 0 {
+		t.Errorf("zero plan recorded faults: %d/%d/%d", e.Dropped(), e.Duplicated(), e.Delayed())
+	}
+	if e.faulty {
+		t.Error("zero plan should not enable the faulty path")
+	}
+}
+
+// Two sequential runs with the same seeded plan make identical fault
+// decisions: ordered traces and counters agree exactly.
+func TestFaultDeterminism(t *testing.T) {
+	plan := FaultPlan{Seed: 42, Drop: 0.1, Duplicate: 0.05, MaxJitter: 3}
+	ta, ea := runFloodPlan(t, false, plan)
+	tb, eb := runFloodPlan(t, false, plan)
+	if !reflect.DeepEqual(ta, tb) {
+		t.Error("same plan, same seed: traces differ")
+	}
+	if ea.Dropped() != eb.Dropped() || ea.Duplicated() != eb.Duplicated() || ea.Delayed() != eb.Delayed() {
+		t.Errorf("fault counters differ: %d/%d/%d vs %d/%d/%d",
+			ea.Dropped(), ea.Duplicated(), ea.Delayed(),
+			eb.Dropped(), eb.Duplicated(), eb.Delayed())
+	}
+	if ea.Dropped() == 0 && ea.Duplicated() == 0 && ea.Delayed() == 0 {
+		t.Error("plan with 10% drop on a flood injected no faults: RNG suspect")
+	}
+	// A different seed must change the decisions (overwhelmingly likely on
+	// hundreds of messages).
+	tc, _ := runFloodPlan(t, false, FaultPlan{Seed: 43, Drop: 0.1, Duplicate: 0.05, MaxJitter: 3})
+	if reflect.DeepEqual(ta, tc) {
+		t.Error("different seeds produced identical faulted traces")
+	}
+}
+
+// The tentpole determinism contract: sequential and parallel engines make
+// identical per-message fault decisions (traces equal as multisets, since
+// within-step logging interleaves; counters equal exactly).
+func TestParallelMatchesSequentialUnderFaults(t *testing.T) {
+	plan := FaultPlan{
+		Seed: 7, Drop: 0.08, Duplicate: 0.05, MaxJitter: 2,
+		Crashes:   []CrashWindow{{Node: 5, From: 3, To: 8}},
+		LinkDowns: []LinkWindow{{U: 0, V: 1, From: 0, To: 4}},
+	}
+	seq, es := runFloodPlan(t, false, plan)
+	par, ep := runFloodPlan(t, true, plan)
+	if len(seq) != len(par) {
+		t.Fatalf("trace lengths differ under faults: %d vs %d", len(seq), len(par))
+	}
+	count := func(tr []string) map[string]int {
+		m := map[string]int{}
+		for _, s := range tr {
+			m[s]++
+		}
+		return m
+	}
+	if !reflect.DeepEqual(count(seq), count(par)) {
+		t.Error("parallel faulted trace differs from sequential reference")
+	}
+	if es.Dropped() != ep.Dropped() || es.Duplicated() != ep.Duplicated() || es.Delayed() != ep.Delayed() ||
+		es.MessagesSent() != ep.MessagesSent() {
+		t.Errorf("counters differ: seq %d/%d/%d/%d par %d/%d/%d/%d",
+			es.MessagesSent(), es.Dropped(), es.Duplicated(), es.Delayed(),
+			ep.MessagesSent(), ep.Dropped(), ep.Duplicated(), ep.Delayed())
+	}
+}
+
+// pingSetup wires a 3-node line where node 0 sends one "ping" to node 2 on
+// inject; returns the engine and the receiver's trace.
+func pingSetup(t *testing.T, plan FaultPlan) (*Engine, *traceHandler) {
+	t.Helper()
+	g, _ := graph.Line(3)
+	hs, ts := traceHandlers(3, func(ctx *Ctx, ev Event) {
+		if ev.Kind == KindInject {
+			ctx.Send(2, "ping")
+		}
+	})
+	e, err := New(g, hs, Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ts[2]
+}
+
+func TestDropLosesMessage(t *testing.T) {
+	e, rx := pingSetup(t, FaultPlan{Drop: 1.0})
+	_ = e.InjectAt(0, 0, "go")
+	if err := e.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := countMsgs(rx); got != 0 {
+		t.Errorf("ping delivered despite Drop=1: %d events", got)
+	}
+	if e.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", e.Dropped())
+	}
+	// The send is still counted: loss happens in flight, not at the sender.
+	if e.MessagesSent() != 1 {
+		t.Errorf("MessagesSent = %d, want 1", e.MessagesSent())
+	}
+}
+
+func countMsgs(h *traceHandler) int {
+	n := 0
+	for _, s := range h.events {
+		if !contains(s, "inject") {
+			n++
+		}
+	}
+	return n
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSenderCrashDropsMessage(t *testing.T) {
+	e, rx := pingSetup(t, FaultPlan{Crashes: []CrashWindow{{Node: 0, From: 0, To: 5}}})
+	_ = e.InjectAt(3, 0, "go")
+	if err := e.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := countMsgs(rx); got != 0 {
+		t.Errorf("message from crashed sender delivered: %d events", got)
+	}
+	if e.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", e.Dropped())
+	}
+}
+
+func TestReceiverCrashDropsAtArrival(t *testing.T) {
+	// Send at t=0; arrival at t=2 falls inside the receiver's window.
+	e, rx := pingSetup(t, FaultPlan{Crashes: []CrashWindow{{Node: 2, From: 1, To: 3}}})
+	_ = e.InjectAt(0, 0, "go")
+	if err := e.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := countMsgs(rx); got != 0 {
+		t.Errorf("message to crashed receiver delivered: %d events", got)
+	}
+	if e.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", e.Dropped())
+	}
+	// After the window, delivery works again.
+	e2, rx2 := pingSetup(t, FaultPlan{Crashes: []CrashWindow{{Node: 2, From: 1, To: 3}}})
+	_ = e2.InjectAt(10, 0, "go")
+	_ = e2.RunUntil(50)
+	if got := countMsgs(rx2); got != 1 {
+		t.Errorf("post-restart delivery failed: %d events", got)
+	}
+}
+
+func TestLinkDownDropsAtSendTime(t *testing.T) {
+	// The 0→2 path transits link (1,2); windows are judged on the (src, dst)
+	// pair, so sever (0, 2) directly.
+	e, rx := pingSetup(t, FaultPlan{LinkDowns: []LinkWindow{{U: 2, V: 0, From: 0, To: 5}}})
+	_ = e.InjectAt(2, 0, "go")
+	if err := e.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := countMsgs(rx); got != 0 {
+		t.Errorf("message over severed link delivered: %d events", got)
+	}
+	// Send after the window: the link is back.
+	e2, rx2 := pingSetup(t, FaultPlan{LinkDowns: []LinkWindow{{U: 2, V: 0, From: 0, To: 5}}})
+	_ = e2.InjectAt(6, 0, "go")
+	_ = e2.RunUntil(50)
+	if got := countMsgs(rx2); got != 1 {
+		t.Errorf("post-outage delivery failed: %d events", got)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	e, rx := pingSetup(t, FaultPlan{Duplicate: 1.0})
+	_ = e.InjectAt(0, 0, "go")
+	if err := e.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := countMsgs(rx); got != 2 {
+		t.Errorf("Duplicate=1 delivered %d copies, want 2", got)
+	}
+	if e.Duplicated() != 1 {
+		t.Errorf("Duplicated = %d, want 1", e.Duplicated())
+	}
+}
+
+func TestJitterBoundedAndNeverEarly(t *testing.T) {
+	g, _ := graph.Line(10)
+	const maxJ = 5
+	for seed := int64(1); seed <= 20; seed++ {
+		var arrival core.Time = -1
+		hs, _ := traceHandlers(10, nil)
+		hs[9] = handlerFunc(func(ctx *Ctx, ev Event) {
+			if ev.Kind == KindMessage {
+				arrival = ctx.Now()
+			}
+		})
+		hs[0] = handlerFunc(func(ctx *Ctx, ev Event) {
+			if ev.Kind == KindInject {
+				ctx.Send(9, "ping")
+			}
+		})
+		e, err := New(g, hs, Options{Faults: FaultPlan{Seed: seed, MaxJitter: maxJ}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = e.InjectAt(0, 0, "go")
+		if err := e.RunUntil(100); err != nil {
+			t.Fatal(err)
+		}
+		if arrival < 9 || arrival > 9+maxJ {
+			t.Fatalf("seed %d: arrival at t=%d outside [9, %d]", seed, arrival, 9+maxJ)
+		}
+	}
+}
+
+// Self-sends and wake timers model node-local work and must never be
+// faulted, even while the node is inside a crash window.
+func TestSelfEventsExemptFromFaults(t *testing.T) {
+	g, _ := graph.Line(2)
+	var got []string
+	hs := []Handler{
+		handlerFunc(func(ctx *Ctx, ev Event) {
+			switch {
+			case ev.Kind == KindInject:
+				ctx.Send(0, "self")
+				ctx.WakeAt(ctx.Now() + 3)
+			case ev.Kind == KindMessage:
+				got = append(got, "self")
+			case ev.Kind == KindWake:
+				got = append(got, "wake")
+			}
+		}),
+		handlerFunc(func(ctx *Ctx, ev Event) {}),
+	}
+	plan := FaultPlan{Drop: 1.0, Crashes: []CrashWindow{{Node: 0, From: 0, To: 100}}}
+	e, err := New(g, hs, Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.InjectAt(0, 0, "go")
+	if err := e.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"self", "wake"}) {
+		t.Errorf("node-local events = %v, want [self wake]", got)
+	}
+	if e.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0 (nothing crossed the network)", e.Dropped())
+	}
+}
+
+func TestFaultMetricsExported(t *testing.T) {
+	m := obs.New()
+	g, _ := graph.Line(3)
+	hs, _ := traceHandlers(3, func(ctx *Ctx, ev Event) {
+		if ev.Kind == KindInject {
+			ctx.Send(2, "ping")
+		}
+	})
+	e, err := New(g, hs, Options{Faults: FaultPlan{Drop: 1.0}, Obs: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.InjectAt(0, 0, "go")
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Counters["distnet.dropped"] != 1 {
+		t.Errorf("distnet.dropped = %d, want 1", snap.Counters["distnet.dropped"])
+	}
+}
+
+func TestParseCrashes(t *testing.T) {
+	ws, err := ParseCrashes("3:10:20,0:0:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []CrashWindow{{Node: 3, From: 10, To: 20}, {Node: 0, From: 0, To: 5}}
+	if !reflect.DeepEqual(ws, want) {
+		t.Errorf("ParseCrashes = %v, want %v", ws, want)
+	}
+	if ws, err := ParseCrashes(""); err != nil || ws != nil {
+		t.Errorf("empty spec: got %v, %v", ws, err)
+	}
+	for _, bad := range []string{"3:10", "a:1:2", "3:20:10", "1:2:3:4"} {
+		if _, err := ParseCrashes(bad); err == nil {
+			t.Errorf("ParseCrashes(%q): want error", bad)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	cases := []struct {
+		plan FaultPlan
+		want bool
+	}{
+		{FaultPlan{}, false},
+		{FaultPlan{Seed: 99}, false}, // seed alone injects nothing
+		{FaultPlan{Drop: 0.01}, true},
+		{FaultPlan{Duplicate: 0.01}, true},
+		{FaultPlan{MaxJitter: 1}, true},
+		{FaultPlan{Crashes: []CrashWindow{{}}}, true},
+		{FaultPlan{LinkDowns: []LinkWindow{{}}}, true},
+	}
+	for i, c := range cases {
+		if got := c.plan.Enabled(); got != c.want {
+			t.Errorf("case %d: Enabled = %v, want %v", i, got, c.want)
+		}
+	}
+}

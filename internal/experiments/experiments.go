@@ -15,6 +15,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"dtm/internal/batch"
 	"dtm/internal/bucket"
@@ -91,12 +92,13 @@ var All = []Experiment{
 	{ID: "F12", Title: "Bounded link capacity", Claim: "Concluding remarks (open problem): impact of congestion when links carry at most C objects at once", Run: figure12Congestion},
 	{ID: "T10", Title: "Hub placement for the coordinator", Claim: "Section III-E: the funnel's overhead is the round trip to the designated node, so placement matters up to the eccentricity ratio", Run: table10HubPlacement},
 	{ID: "F13", Title: "Congestion-aware padding", Claim: "Extension of the bounded-capacity open problem: spacing the schedule out (padded edge weights) trades nominal latency for fewer congestion stalls", Run: figure13Padding},
+	{ID: "T11", Title: "Algorithm 3 under message loss", Claim: "Beyond the paper's reliable synchronous model: with seeded fault injection and the retry/abandon recovery layer, the protocol degrades gracefully — every transaction executes or is explicitly abandoned, at a measurable message and ratio overhead", Run: table11Faults},
 }
 
-// ByID finds an experiment.
+// ByID finds an experiment; IDs match case-insensitively ("t11" == "T11").
 func ByID(id string) (Experiment, bool) {
 	for _, e := range All {
-		if e.ID == id {
+		if strings.EqualFold(e.ID, id) {
 			return e, true
 		}
 	}

@@ -75,6 +75,13 @@ type RunResult struct {
 	// Decisions is the full decision log (sorted by decision time), enough
 	// to replay and re-validate the run with core.Replay.
 	Decisions []core.Decision
+	// Abandoned lists transactions the run gave up on instead of executing
+	// (sorted by ID). Always empty for the central drivers; the distributed
+	// driver populates it under an injected fault plan when recovery is
+	// exhausted (crashed origins, lost sessions). A run with abandoned
+	// transactions but Failed == false degraded gracefully: every other
+	// transaction executed and the ratio trace covers only those.
+	Abandoned []core.TxID
 	// Failed reports that the run did not finish cleanly — the scheduler
 	// misbehaved, left transactions unscheduled, or the schedule violated
 	// the model — and Err carries the cause. Err supersedes the embedded
@@ -309,6 +316,16 @@ func failedResult(sim *core.Sim, s Scheduler, snaps []Snapshot, m *obs.Metrics, 
 	rr.Failed = true
 	rr.Err = err
 	return rr
+}
+
+// CompletionRate returns the fraction of transactions that executed:
+// 1 minus the abandoned share. 1.0 for every fault-free run.
+func (rr *RunResult) CompletionRate() float64 {
+	n := len(rr.Latency)
+	if n == 0 {
+		return 1
+	}
+	return float64(n-len(rr.Abandoned)) / float64(n)
 }
 
 // ratioSamples extracts the per-snapshot ratios as a float sample.

@@ -45,10 +45,13 @@ type Run struct {
 	Scheduler string          `json:"scheduler"`
 	SlowObj   int             `json:"slowObjects,omitempty"`
 	Decisions []core.Decision `json:"decisions"`
-	Makespan  core.Time       `json:"makespan"`
-	MaxLat    core.Time       `json:"maxLatency"`
-	TotalComm graph.Weight    `json:"totalComm"`
-	MaxRatio  float64         `json:"maxRatio"`
+	// Abandoned lists transactions the run explicitly gave up on (degraded
+	// runs under an injected fault plan); Validate accepts them unexecuted.
+	Abandoned []core.TxID  `json:"abandoned,omitempty"`
+	Makespan  core.Time    `json:"makespan"`
+	MaxLat    core.Time    `json:"maxLatency"`
+	TotalComm graph.Weight `json:"totalComm"`
+	MaxRatio  float64      `json:"maxRatio"`
 }
 
 // Capture builds a Run record from an instance and its finished result.
@@ -59,6 +62,7 @@ func Capture(in *core.Instance, rr *sched.RunResult, slowFactor int) *Run {
 		Scheduler: rr.Scheduler,
 		SlowObj:   slowFactor,
 		Decisions: rr.Decisions,
+		Abandoned: rr.Abandoned,
 		Makespan:  rr.Makespan,
 		MaxLat:    rr.MaxLat,
 		TotalComm: rr.TotalComm,
@@ -103,13 +107,14 @@ func (r *Run) Instance() (*core.Instance, error) {
 }
 
 // Validate replays the recorded decisions through the core engine and
-// checks that the recorded makespan matches.
+// checks that the recorded makespan matches. Runs with abandoned
+// transactions validate iff exactly the abandoned set went unexecuted.
 func (r *Run) Validate() error {
 	in, err := r.Instance()
 	if err != nil {
 		return err
 	}
-	res, err := core.Replay(in, r.Decisions, core.SimOptions{SlowFactor: r.SlowObj})
+	res, err := core.ReplayAbandoned(in, r.Decisions, r.Abandoned, core.SimOptions{SlowFactor: r.SlowObj})
 	if err != nil {
 		return fmt.Errorf("trace: recorded schedule is infeasible: %w", err)
 	}

@@ -76,6 +76,66 @@ func TestValidateCatchesWrongMakespan(t *testing.T) {
 	}
 }
 
+// degradeRun turns a captured complete run into a degraded one: the last
+// decided transaction loses its decision and is recorded as abandoned, with
+// the makespan recomputed over the surviving schedule.
+func degradeRun(t *testing.T, r *Run) core.TxID {
+	t.Helper()
+	last := r.Decisions[len(r.Decisions)-1]
+	r.Decisions = r.Decisions[:len(r.Decisions)-1]
+	r.Abandoned = append(r.Abandoned, last.Tx)
+	in, err := r.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ReplayAbandoned(in, r.Decisions, r.Abandoned, core.SimOptions{SlowFactor: r.SlowObj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Makespan = res.Makespan
+	return last.Tx
+}
+
+func TestAbandonedRoundTrip(t *testing.T) {
+	_, r := captureRun(t)
+	degradeRun(t, r)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("degraded run fails validation: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Validate(); err != nil {
+		t.Fatalf("round-tripped degraded run fails validation: %v", err)
+	}
+	if len(r2.Abandoned) != len(r.Abandoned) {
+		t.Errorf("abandoned set lost in round trip: %v vs %v", r2.Abandoned, r.Abandoned)
+	}
+}
+
+func TestValidateRejectsAbandonedButExecuted(t *testing.T) {
+	_, r := captureRun(t)
+	// Mark a transaction abandoned while its decision is still recorded.
+	r.Abandoned = append(r.Abandoned, r.Decisions[0].Tx)
+	if err := r.Validate(); err == nil {
+		t.Fatal("abandoned-but-executed transaction should fail validation")
+	}
+}
+
+func TestValidateRejectsSilentlyMissingTx(t *testing.T) {
+	_, r := captureRun(t)
+	// Drop a decision without declaring the transaction abandoned.
+	r.Decisions = r.Decisions[:len(r.Decisions)-1]
+	if err := r.Validate(); err == nil {
+		t.Fatal("unexecuted undeclared transaction should fail validation")
+	}
+}
+
 func TestReadRejectsGarbage(t *testing.T) {
 	if _, err := Read(bytes.NewBufferString("{not json")); err == nil {
 		t.Fatal("garbage input: want error")
