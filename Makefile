@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench bench-quick
+.PHONY: all build test check vet fmt race bench bench-quick bench-scale
 
 all: check
 
@@ -24,7 +24,8 @@ fmt:
 
 race:
 	$(GO) test -race ./internal/distnet/... ./internal/distbucket/... \
-		./internal/runner/... ./internal/graph/...
+		./internal/runner/... ./internal/graph/... \
+		./internal/depgraph/... ./internal/pq/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -33,6 +34,13 @@ bench:
 # parallel worker pool, verifies the outputs are byte-identical, and
 # writes wall-clock numbers + speedup to BENCH_runner.json, plus the T11
 # fault-injection sweep rows to BENCH_faults.json.
-bench-quick: build
+bench-quick: build bench-scale
 	$(GO) run ./cmd/dtmbench -exp all -quick -benchjson BENCH_runner.json >/dev/null
 	$(GO) run ./cmd/dtmbench -quick -faultjson BENCH_faults.json
+
+# bench-scale times the incremental conflict-index engine against the
+# per-arrival rebuild oracle (greedy clique + bucket line, quick sizes
+# n=64/256; the full n=1024 row runs without -quick) and writes
+# ns/arrival and allocs/arrival per engine to BENCH_scale.json.
+bench-scale: build
+	$(GO) run ./cmd/dtmbench -quick -scalejson BENCH_scale.json

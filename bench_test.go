@@ -80,6 +80,7 @@ func BenchmarkFigure12Congestion(b *testing.B)   { benchExperiment(b, "F12") }
 func BenchmarkTable10HubPlacement(b *testing.B)  { benchExperiment(b, "T10") }
 func BenchmarkFigure13Padding(b *testing.B)      { benchExperiment(b, "F13") }
 func BenchmarkTable11Faults(b *testing.B)        { benchExperiment(b, "T11") }
+func BenchmarkTable12Scale(b *testing.B)         { benchExperiment(b, "T12") }
 
 // BenchmarkSweepWorkers times one trial-heavy experiment (T1) at several
 // worker-pool sizes; the rendered tables are byte-identical across them.
@@ -105,57 +106,74 @@ func BenchmarkSweepWorkers(b *testing.B) {
 
 // --- Table 6: CPU cost of the scheduling computations themselves ---
 
+// engineVariants names the two scheduling engines every CPU benchmark
+// runs under: the incremental conflict-index engine (default) and the
+// per-arrival rebuild oracle. -benchmem shows the ns and alloc gap
+// between them; `dtmbench -scalejson` extends the same comparison to
+// n=1024 as a per-arrival JSON artifact.
+var engineVariants = []struct {
+	name    string
+	rebuild bool
+}{
+	{"incremental", false},
+	{"rebuild", true},
+}
+
 // BenchmarkGreedyScheduleCPU measures one full online greedy run (all
-// coloring work) per instance size; Section III-B claims O(n' + m' log n')
-// per step.
+// coloring work) per instance size and engine; Section III-B claims
+// O(n' + m' log n') per step.
 func BenchmarkGreedyScheduleCPU(b *testing.B) {
 	for _, n := range []int{16, 64, 256} {
-		b.Run(fmt.Sprintf("clique-n%d", n), func(b *testing.B) {
-			g, err := graph.Clique(n)
-			if err != nil {
-				b.Fatal(err)
-			}
-			in, err := workload.Generate(g, workload.Config{
-				K: 3, NumObjects: n, Rounds: 3,
-				Arrival: workload.ArrivalPeriodic, Period: 2, Seed: 1,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := sched.Run(in, greedy.New(greedy.Options{}), sched.Options{SnapshotEvery: -1}); err != nil {
-					b.Fatal(err)
-				}
-			}
+		g, err := graph.Clique(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, err := workload.Generate(g, workload.Config{
+			K: 3, NumObjects: n, Rounds: 3,
+			Arrival: workload.ArrivalPeriodic, Period: 2, Seed: 1,
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range engineVariants {
+			b.Run(fmt.Sprintf("clique-n%d/%s", n, eng.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s := greedy.New(greedy.Options{RebuildOracle: eng.rebuild})
+					if _, err := sched.Run(in, s, sched.Options{SnapshotEvery: -1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
 // BenchmarkBucketScheduleCPU measures the bucket conversion (level probes
-// plus activations) per instance size; Section IV-D claims polynomial time.
+// plus activations) per instance size and engine; Section IV-D claims
+// polynomial time.
 func BenchmarkBucketScheduleCPU(b *testing.B) {
 	for _, n := range []int{16, 64, 256} {
-		b.Run(fmt.Sprintf("line-n%d", n), func(b *testing.B) {
-			g, err := graph.Line(n)
-			if err != nil {
-				b.Fatal(err)
-			}
-			in, err := workload.Generate(g, workload.Config{
-				K: 2, NumObjects: n / 2, Rounds: 2,
-				Arrival: workload.ArrivalPeriodic, Period: core.Time(n), Seed: 1,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				s := bucket.New(bucket.Options{Batch: batch.Tour{}})
-				if _, err := sched.Run(in, s, sched.Options{SnapshotEvery: -1}); err != nil {
-					b.Fatal(err)
-				}
-			}
+		g, err := graph.Line(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, err := workload.Generate(g, workload.Config{
+			K: 2, NumObjects: n / 2, Rounds: 2,
+			Arrival: workload.ArrivalPeriodic, Period: core.Time(n), Seed: 1,
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range engineVariants {
+			b.Run(fmt.Sprintf("line-n%d/%s", n, eng.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s := bucket.New(bucket.Options{Batch: batch.Tour{}, RebuildOracle: eng.rebuild})
+					if _, err := sched.Run(in, s, sched.Options{SnapshotEvery: -1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -40,6 +40,14 @@ type Options struct {
 	// core.SimOptions.SlowFactor); the batch problems must plan with the
 	// same speed. Zero means 1.
 	Slow int
+	// RebuildOracle rebuilds the batch problem (object availability map and
+	// candidate slice) from scratch for every level probe, as the original
+	// implementation did, instead of sharing one problem per arrival. Both
+	// paths produce identical placements — within one OnArrive the
+	// simulation state is frozen, so availability entries cannot change
+	// between probes and every batch scheduler reads the map by key only —
+	// and the root differential test pins that.
+	RebuildOracle bool
 }
 
 func (o Options) slow() int {
@@ -73,6 +81,13 @@ type Bucket struct {
 	env    *sched.Env
 	levels [][]pending
 	audit  Audit
+
+	// Incremental probe state (default engine): one availability map and
+	// problem header shared by every level probe of an arrival, plus a
+	// reusable candidate buffer.
+	avail map[core.ObjID]batch.Avail
+	prob  batch.Problem
+	cand  []*core.Transaction
 
 	// Instrument handles; nil (free) when observability is disabled.
 	metInserted    *obs.Counter   // bucket.insertions
@@ -127,8 +142,22 @@ func (b *Bucket) Start(env *sched.Env) error {
 
 // OnArrive implements sched.Scheduler: each new transaction goes into the
 // smallest-level bucket that keeps the batch cost within 2^i.
+//
+// The default engine assembles the batch problem once per arrival: no
+// decision is made and the simulation clock does not move while probing,
+// so the object-availability entries are immutable for the whole call and
+// can be extended lazily as new objects come into play, instead of being
+// recomputed for every (transaction, level) probe.
 func (b *Bucket) OnArrive(txns []*core.Transaction) error {
 	now := b.env.Sim.Now()
+	if !b.opts.RebuildOracle {
+		if b.avail == nil {
+			b.avail = make(map[core.ObjID]batch.Avail)
+		} else {
+			clear(b.avail)
+		}
+		b.prob = batch.Problem{G: b.env.G, Now: now, Avail: b.avail, Slow: graph.Weight(b.opts.slow())}
+	}
 	for _, tx := range txns {
 		if b.opts.ForceTopLevel {
 			b.insert(len(b.levels)-1, tx, now)
@@ -136,12 +165,26 @@ func (b *Bucket) OnArrive(txns []*core.Transaction) error {
 		}
 		placed := false
 		for i := range b.levels {
-			cand := make([]*core.Transaction, 0, len(b.levels[i])+1)
-			for _, pd := range b.levels[i] {
-				cand = append(cand, pd.tx)
+			var p *batch.Problem
+			if b.opts.RebuildOracle {
+				cand := make([]*core.Transaction, 0, len(b.levels[i])+1)
+				for _, pd := range b.levels[i] {
+					cand = append(cand, pd.tx)
+				}
+				cand = append(cand, tx)
+				p = b.problem(cand, now)
+			} else {
+				cand := b.cand[:0]
+				for _, pd := range b.levels[i] {
+					cand = append(cand, pd.tx)
+				}
+				cand = append(cand, tx)
+				b.cand = cand
+				b.extendAvail(cand, now)
+				b.prob.Txns = cand
+				p = &b.prob
 			}
-			cand = append(cand, tx)
-			cost, err := batch.Cost(b.opts.Batch, b.problem(cand, now))
+			cost, err := batch.Cost(b.opts.Batch, p)
 			if err != nil {
 				return fmt.Errorf("bucket: cost probe at level %d: %w", i, err)
 			}
@@ -249,6 +292,23 @@ func (b *Bucket) activate(level int, now core.Time) error {
 // availability (the paper's first basic modification of A).
 func (b *Bucket) problem(txns []*core.Transaction, now core.Time) *batch.Problem {
 	avail := make(map[core.ObjID]batch.Avail)
+	b.fillAvail(avail, txns, now)
+	return &batch.Problem{G: b.env.G, Now: now, Txns: txns, Avail: avail, Slow: graph.Weight(b.opts.slow())}
+}
+
+// extendAvail adds availability entries for any objects of txns not yet in
+// the shared per-arrival map. Entries computed by earlier probes of the
+// same arrival stay valid: the clock and the decision log are frozen for
+// the duration of OnArrive.
+func (b *Bucket) extendAvail(txns []*core.Transaction, now core.Time) {
+	b.fillAvail(b.avail, txns, now)
+}
+
+// fillAvail computes the availability (node, free-time) of every object
+// used by txns: the last scheduled user's position once it frees the
+// object, or the object's current/committed position, or its origin if it
+// is yet to be created.
+func (b *Bucket) fillAvail(avail map[core.ObjID]batch.Avail, txns []*core.Transaction, now core.Time) {
 	sim := b.env.Sim
 	in := sim.Instance()
 	for _, tx := range txns {
@@ -273,7 +333,6 @@ func (b *Bucket) problem(txns []*core.Transaction, now core.Time) *batch.Problem
 			}
 		}
 	}
-	return &batch.Problem{G: b.env.G, Now: now, Txns: txns, Avail: avail, Slow: graph.Weight(b.opts.slow())}
 }
 
 var _ sched.Scheduler = (*Bucket)(nil)

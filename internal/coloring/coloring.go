@@ -13,7 +13,7 @@ package coloring
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"dtm/internal/graph"
 )
@@ -38,18 +38,61 @@ type VertexID int
 type ConflictGraph struct {
 	adj    [][]WEdge
 	colors []Color
+	forb   []Interval // reusable forbidden-interval scratch for GreedyColor*
 }
 
 // New returns a conflict graph with n uncolored vertices and no edges.
 func New(n int) *ConflictGraph {
-	cg := &ConflictGraph{
-		adj:    make([][]WEdge, n),
-		colors: make([]Color, n),
+	cg := &ConflictGraph{}
+	cg.Reset(n)
+	return cg
+}
+
+// Reset reinitializes the graph to n uncolored vertices and no edges,
+// reusing the existing adjacency storage. A Reset graph behaves exactly
+// like one from New(n); schedulers that build one dependency graph per
+// arrival use it to avoid reallocating every vertex slot.
+func (cg *ConflictGraph) Reset(n int) {
+	if cap(cg.adj) < n {
+		cg.adj = make([][]WEdge, n)
+		cg.colors = make([]Color, n)
 	}
-	for i := range cg.colors {
+	cg.adj = cg.adj[:n]
+	cg.colors = cg.colors[:n]
+	for i := range cg.adj {
+		cg.adj[i] = cg.adj[i][:0]
 		cg.colors[i] = Uncolored
 	}
-	return cg
+}
+
+// AddVertex appends one uncolored, isolated vertex and returns its ID.
+func (cg *ConflictGraph) AddVertex() VertexID {
+	v := VertexID(len(cg.adj))
+	cg.adj = append(cg.adj, nil)
+	cg.colors = append(cg.colors, Uncolored)
+	return v
+}
+
+// RemoveVertex detaches v from the graph: every incident edge is removed
+// from both endpoints and v reverts to an uncolored, isolated vertex. The
+// vertex slot itself remains valid (IDs are stable) and can be rewired
+// with AddEdge later.
+func (cg *ConflictGraph) RemoveVertex(v VertexID) {
+	if v < 0 || int(v) >= cg.N() {
+		return
+	}
+	for _, e := range cg.adj[v] {
+		peer := cg.adj[e.To]
+		for i := range peer {
+			if peer[i].To == v {
+				peer[i] = peer[len(peer)-1]
+				cg.adj[e.To] = peer[:len(peer)-1]
+				break
+			}
+		}
+	}
+	cg.adj[v] = cg.adj[v][:0]
+	cg.colors[v] = Uncolored
 }
 
 // N returns the number of vertices.
@@ -97,32 +140,97 @@ func (cg *ConflictGraph) WeightedDegree(v VertexID) graph.Weight {
 	return g
 }
 
-// GreedyColor assigns v the smallest non-negative color valid against its
-// already-colored neighbors, records it, and returns it. Lemma 1
-// guarantees the result is at most 2Γ(v) − Δ(v).
-func (cg *ConflictGraph) GreedyColor(v VertexID) Color {
-	// Each colored neighbor u forbids the open interval
-	// (c(u)-w, c(u)+w). Sweep the sorted intervals from 0 upward.
-	type iv struct{ lo, hi Color } // inclusive integer bounds of forbidden range
-	var forb []iv
+// Interval is an inclusive range of forbidden colors, [Lo, Hi]. A colored
+// neighbor u across an edge of weight w forbids the open interval
+// (c(u)−w, c(u)+w), i.e. Interval{c(u)−w+1, c(u)+w−1}.
+type Interval struct{ Lo, Hi Color }
+
+// Forbid is the forbidden interval induced by a neighbor of color cu
+// across an edge of weight w (Equation 1).
+func Forbid(cu Color, w graph.Weight) Interval {
+	return Interval{Lo: cu - Color(w) + 1, Hi: cu + Color(w) - 1}
+}
+
+// cmpIntervalLo orders intervals by their lower end for the sweep; the
+// non-reflective slices sort keeps interface headers out of the per-color
+// hot path.
+func cmpIntervalLo(a, b Interval) int {
+	switch {
+	case a.Lo < b.Lo:
+		return -1
+	case a.Lo > b.Lo:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// SmallestValid returns the smallest non-negative color outside the union
+// of the given forbidden intervals. It sorts forb in place (by Lo) and
+// sweeps upward from 0; the result depends only on the interval set, not
+// its order. This is the Lemma 1 color search, shared by the per-arrival
+// rebuild path (GreedyColor) and the incremental depgraph engine so the
+// two can never disagree.
+func SmallestValid(forb []Interval) Color {
+	slices.SortFunc(forb, cmpIntervalLo)
+	c := Color(0)
+	for _, f := range forb {
+		if f.Hi < c {
+			continue
+		}
+		if f.Lo > c {
+			break // gap found
+		}
+		c = f.Hi + 1
+	}
+	return c
+}
+
+// SmallestValidMultiple returns the smallest positive multiple of beta
+// outside the union of the given forbidden intervals — the Lemma 2 color
+// search. Like SmallestValid it sorts forb in place and is
+// order-insensitive.
+func SmallestValidMultiple(forb []Interval, beta graph.Weight) Color {
+	slices.SortFunc(forb, cmpIntervalLo)
+	c := Color(beta) // smallest candidate: k=1
+	for _, f := range forb {
+		if f.Hi < c {
+			continue
+		}
+		if f.Lo > c {
+			break
+		}
+		// Round the end of the forbidden block up to the next multiple.
+		next := f.Hi + 1
+		rem := next % Color(beta)
+		if rem != 0 {
+			next += Color(beta) - rem
+		}
+		c = next
+	}
+	return c
+}
+
+// gatherForb collects the forbidden intervals from v's colored neighbors
+// into the graph's reusable scratch buffer.
+func (cg *ConflictGraph) gatherForb(v VertexID) []Interval {
+	forb := cg.forb[:0]
 	for _, e := range cg.adj[v] {
 		cu := cg.colors[e.To]
 		if cu == Uncolored {
 			continue
 		}
-		forb = append(forb, iv{cu - Color(e.W) + 1, cu + Color(e.W) - 1})
+		forb = append(forb, Forbid(cu, e.W))
 	}
-	sort.Slice(forb, func(i, j int) bool { return forb[i].lo < forb[j].lo })
-	c := Color(0)
-	for _, f := range forb {
-		if f.hi < c {
-			continue
-		}
-		if f.lo > c {
-			break // gap found
-		}
-		c = f.hi + 1
-	}
+	cg.forb = forb[:0] // keep the (possibly grown) buffer
+	return forb
+}
+
+// GreedyColor assigns v the smallest non-negative color valid against its
+// already-colored neighbors, records it, and returns it. Lemma 1
+// guarantees the result is at most 2Γ(v) − Δ(v).
+func (cg *ConflictGraph) GreedyColor(v VertexID) Color {
+	c := SmallestValid(cg.gatherForb(v))
 	cg.colors[v] = c
 	return c
 }
@@ -139,32 +247,7 @@ func (cg *ConflictGraph) GreedyColor(v VertexID) Color {
 // paper's scheduling theorems are asymptotically unaffected. Tests assert
 // the ≤ Γ(v)+β bound for the all-weights-β case.
 func (cg *ConflictGraph) GreedyColorUniform(v VertexID, beta graph.Weight) Color {
-	type iv struct{ lo, hi Color }
-	var forb []iv
-	for _, e := range cg.adj[v] {
-		cu := cg.colors[e.To]
-		if cu == Uncolored {
-			continue
-		}
-		forb = append(forb, iv{cu - Color(e.W) + 1, cu + Color(e.W) - 1})
-	}
-	sort.Slice(forb, func(i, j int) bool { return forb[i].lo < forb[j].lo })
-	c := Color(beta) // smallest candidate: k=1
-	for _, f := range forb {
-		if f.hi < c {
-			continue
-		}
-		if f.lo > c {
-			break
-		}
-		// Round the end of the forbidden block up to the next multiple.
-		next := f.hi + 1
-		rem := next % Color(beta)
-		if rem != 0 {
-			next += Color(beta) - rem
-		}
-		c = next
-	}
+	c := SmallestValidMultiple(cg.gatherForb(v), beta)
 	cg.colors[v] = c
 	return c
 }

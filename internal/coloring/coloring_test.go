@@ -177,3 +177,134 @@ func TestUncoloredIgnoredByValidate(t *testing.T) {
 		t.Errorf("partial coloring should validate: %v", err)
 	}
 }
+
+func TestResetBehavesLikeNew(t *testing.T) {
+	cg := New(4)
+	mustEdge(t, cg, 0, 1, 5)
+	mustEdge(t, cg, 1, 2, 3)
+	cg.GreedyColor(0)
+	cg.GreedyColor(1)
+	cg.Reset(3)
+	if cg.N() != 3 {
+		t.Fatalf("N = %d after Reset(3)", cg.N())
+	}
+	for v := VertexID(0); v < 3; v++ {
+		if cg.Degree(v) != 0 || cg.ColorOf(v) != Uncolored {
+			t.Fatalf("vertex %d not pristine after Reset", v)
+		}
+	}
+	// Same sequence as TestGreedyColorSimpleChain must reproduce exactly.
+	mustEdge(t, cg, 0, 1, 5)
+	mustEdge(t, cg, 1, 2, 3)
+	if c := cg.GreedyColor(0); c != 0 {
+		t.Errorf("c(0) = %d, want 0", c)
+	}
+	if c := cg.GreedyColor(1); c != 5 {
+		t.Errorf("c(1) = %d, want 5", c)
+	}
+	if c := cg.GreedyColor(2); c != 0 {
+		t.Errorf("c(2) = %d, want 0", c)
+	}
+}
+
+func TestAddRemoveVertex(t *testing.T) {
+	cg := New(2)
+	mustEdge(t, cg, 0, 1, 2)
+	v := cg.AddVertex()
+	if v != 2 || cg.N() != 3 {
+		t.Fatalf("AddVertex = %d, N = %d", v, cg.N())
+	}
+	mustEdge(t, cg, v, 0, 4)
+	mustEdge(t, cg, v, 1, 4)
+	if cg.Degree(v) != 2 || cg.Degree(0) != 2 {
+		t.Fatalf("degrees after wiring: v=%d 0=%d", cg.Degree(v), cg.Degree(0))
+	}
+	cg.RemoveVertex(v)
+	if cg.Degree(v) != 0 {
+		t.Errorf("removed vertex keeps %d edges", cg.Degree(v))
+	}
+	if cg.Degree(0) != 1 || cg.Degree(1) != 1 {
+		t.Errorf("peers keep stale back-edges: 0=%d 1=%d", cg.Degree(0), cg.Degree(1))
+	}
+	if cg.ColorOf(v) != Uncolored {
+		t.Errorf("removed vertex keeps color %d", cg.ColorOf(v))
+	}
+	// The slot is reusable.
+	mustEdge(t, cg, v, 0, 7)
+	cg.SetColor(0, 0)
+	if c := cg.GreedyColor(v); c != 7 {
+		t.Errorf("rewired vertex color = %d, want 7", c)
+	}
+}
+
+// referenceSmallest is the pre-refactor color search (fresh allocations,
+// map-free sweep), kept as an oracle: the scratch-buffer implementation
+// must agree on every input.
+func referenceSmallest(forb []Interval, beta graph.Weight) Color {
+	fs := append([]Interval(nil), forb...)
+	if beta > 0 {
+		return SmallestValidMultiple(fs, beta)
+	}
+	return SmallestValid(fs)
+}
+
+func TestGreedyColorScratchMatchesReference(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(24)
+		cg := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					if err := cg.AddEdge(VertexID(u), VertexID(v), 1+graph.Weight(rng.Intn(9))); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		for _, v := range rng.Perm(n) {
+			var forb []Interval
+			for _, e := range cg.adj[v] {
+				if cu := cg.colors[e.To]; cu != Uncolored {
+					forb = append(forb, Forbid(cu, e.W))
+				}
+			}
+			want := referenceSmallest(forb, 0)
+			if c := cg.GreedyColor(VertexID(v)); c != want {
+				return false
+			}
+		}
+		return cg.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkGreedyColor shows the per-color allocation profile of the
+// reusable-scratch sweep (run with -benchmem: allocs/op must stay at zero
+// once the scratch has grown).
+func BenchmarkGreedyColor(b *testing.B) {
+	const n = 256
+	cg := New(n)
+	rng := rand.New(rand.NewSource(3))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(8) == 0 {
+				if err := cg.AddEdge(VertexID(u), VertexID(v), 1+graph.Weight(rng.Intn(16))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < n; v++ {
+			cg.colors[v] = Uncolored
+		}
+		for v := 0; v < n; v++ {
+			cg.GreedyColor(VertexID(v))
+		}
+	}
+}

@@ -1,12 +1,12 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
 	"dtm/internal/graph"
 	"dtm/internal/obs"
+	"dtm/internal/pq"
 )
 
 // SimOptions configure a Sim.
@@ -117,26 +117,17 @@ type event struct {
 	id   int // ObjID for ready/arrive, TxID for exec
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// lessEvent orders the simulation loop's event queue by (at, prio, seq);
+// the queue is an allocation-free pq.Heap (container/heap would box every
+// event on Push/Pop).
+func lessEvent(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
+	if a.prio != b.prio {
+		return a.prio < b.prio
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 type edgeKey struct{ u, v graph.NodeID }
@@ -180,7 +171,7 @@ type Sim struct {
 	doneAt    []Time // actual execution time (== exec unless ElasticExec)
 	doneCount int
 
-	events eventHeap
+	events *pq.Heap[event]
 	seq    int
 	dirty  map[ObjID]bool
 	failed error
@@ -204,6 +195,7 @@ func NewSim(in *Instance, opts SimOptions) (*Sim, error) {
 	s := &Sim{
 		in:        in,
 		opts:      opts,
+		events:    pq.New(lessEvent),
 		objs:      make([]objState, len(in.Objects)),
 		exec:      make([]Time, len(in.Txns)),
 		decidedAt: make([]Time, len(in.Txns)),
@@ -230,7 +222,7 @@ func NewSim(in *Instance, opts SimOptions) (*Sim, error) {
 func (s *Sim) push(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.Push(e)
 }
 
 // Now returns the current simulation time.
@@ -344,10 +336,10 @@ func (s *Sim) removePending(o ObjID, tx TxID) {
 // NextInternalEvent returns the time of the earliest unprocessed internal
 // event, if any.
 func (s *Sim) NextInternalEvent() (Time, bool) {
-	if len(s.events) == 0 {
+	if s.events.Len() == 0 {
 		return 0, false
 	}
-	return s.events[0].at, true
+	return s.events.Peek().at, true
 }
 
 // AdvanceTo processes every internal event with time <= t and moves the
@@ -363,13 +355,13 @@ func (s *Sim) AdvanceTo(t Time) error {
 	// Forward objects for decisions made since the last advance; their
 	// departure time is the current step.
 	s.dispatchDirty()
-	for len(s.events) > 0 && s.events[0].at <= t {
-		at := s.events[0].at
+	for s.events.Len() > 0 && s.events.Peek().at <= t {
+		at := s.events.Peek().at
 		s.now = at
 		// Drain every event at this timestamp in priority order
 		// (receive, execute), then dispatch (forward).
-		for len(s.events) > 0 && s.events[0].at == at {
-			e := heap.Pop(&s.events).(event)
+		for s.events.Len() > 0 && s.events.Peek().at == at {
+			e := s.events.Pop()
 			switch e.prio {
 			case prioReady:
 				s.objs[e.id].exists = true

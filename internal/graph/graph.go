@@ -9,10 +9,12 @@
 package graph
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"dtm/internal/pq"
 )
 
 // NodeID identifies a node of a Graph. Nodes are numbered 0..N()-1.
@@ -36,10 +38,11 @@ type Edge struct {
 type Graph struct {
 	name string
 	adj  [][]Edge
+	nbr  []map[NodeID]int // per-node: neighbor -> index into adj[u]
 	m    int
 
-	mu    sync.RWMutex
-	trees []*spTree // lazily built shortest-path tree per source
+	mu    sync.Mutex               // serializes tree builds and edge insertion
+	trees []atomic.Pointer[spTree] // lazily built shortest-path tree per source
 }
 
 type spTree struct {
@@ -54,7 +57,8 @@ func New(n int) (*Graph, error) {
 	}
 	return &Graph{
 		adj:   make([][]Edge, n),
-		trees: make([]*spTree, n),
+		nbr:   make([]map[NodeID]int, n),
+		trees: make([]atomic.Pointer[spTree], n),
 	}, nil
 }
 
@@ -95,28 +99,29 @@ func (g *Graph) AddEdge(u, v NodeID, w Weight) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for i := range g.trees {
-		g.trees[i] = nil // invalidate caches
+		g.trees[i].Store(nil) // invalidate caches
 	}
-	if i := indexOf(g.adj[u], v); i >= 0 {
+	// Neighbor maps keep edge insertion O(1) instead of a linear adjacency
+	// scan, which made dense-topology construction quadratic.
+	if g.nbr[u] == nil {
+		g.nbr[u] = make(map[NodeID]int)
+	}
+	if g.nbr[v] == nil {
+		g.nbr[v] = make(map[NodeID]int)
+	}
+	if i, ok := g.nbr[u][v]; ok {
 		if w < g.adj[u][i].W {
 			g.adj[u][i].W = w
-			g.adj[v][indexOf(g.adj[v], u)].W = w
+			g.adj[v][g.nbr[v][u]].W = w
 		}
 		return nil
 	}
+	g.nbr[u][v] = len(g.adj[u])
+	g.nbr[v][u] = len(g.adj[v])
 	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
 	g.adj[v] = append(g.adj[v], Edge{To: u, W: w})
 	g.m++
 	return nil
-}
-
-func indexOf(es []Edge, v NodeID) int {
-	for i, e := range es {
-		if e.To == v {
-			return i
-		}
-	}
-	return -1
 }
 
 func (g *Graph) valid(u NodeID) bool { return u >= 0 && int(u) < g.N() }
@@ -135,30 +140,29 @@ func (g *Graph) EdgeWeight(u, v NodeID) (Weight, bool) {
 	if !g.valid(u) || !g.valid(v) {
 		return 0, false
 	}
-	if i := indexOf(g.adj[u], v); i >= 0 {
+	if i, ok := g.nbr[u][v]; ok {
 		return g.adj[u][i].W, true
 	}
 	return 0, false
 }
 
 // tree returns the cached shortest-path tree rooted at src, building it if
-// needed. The read path takes only an RLock, so concurrent sweep cells
-// sharing one topology answer Dist/NextHop queries without serializing;
-// only a cache miss pays the exclusive lock (and re-checks under it).
+// needed. The read path is a single atomic pointer load — Dist/NextHop sit
+// on the hot path of every simulation step, and even an uncontended RLock
+// showed up in profiles — so concurrent sweep cells sharing one topology
+// answer queries without synchronizing; only a cache miss takes the lock
+// (and re-checks under it).
 func (g *Graph) tree(src NodeID) *spTree {
-	g.mu.RLock()
-	t := g.trees[src]
-	g.mu.RUnlock()
-	if t != nil {
+	if t := g.trees[src].Load(); t != nil {
 		return t
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if t := g.trees[src]; t != nil {
+	if t := g.trees[src].Load(); t != nil {
 		return t
 	}
-	t = g.dijkstra(src)
-	g.trees[src] = t
+	t := g.dijkstra(src)
+	g.trees[src].Store(t)
 	return t
 }
 
@@ -175,10 +179,10 @@ func (g *Graph) dijkstra(src NodeID) *spTree {
 		t.parent[i] = -1
 	}
 	t.dist[src] = 0
-	pq := &nodeHeap{{node: src, dist: 0}}
+	frontier := pq.New(lessHeapItem, heapItem{node: src, dist: 0})
 	done := make([]bool, n)
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(heapItem)
+	for frontier.Len() > 0 {
+		it := frontier.Pop()
 		u := it.node
 		if done[u] {
 			continue
@@ -190,7 +194,7 @@ func (g *Graph) dijkstra(src NodeID) *spTree {
 			case nd < t.dist[e.To]:
 				t.dist[e.To] = nd
 				t.parent[e.To] = u
-				heap.Push(pq, heapItem{node: e.To, dist: nd})
+				frontier.Push(heapItem{node: e.To, dist: nd})
 			case nd == t.dist[e.To] && u < t.parent[e.To]:
 				// Deterministic tie-break: prefer the smaller-ID parent.
 				t.parent[e.To] = u
@@ -393,28 +397,16 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("%s(n=%d, m=%d)", name, g.N(), g.M())
 }
 
-// heapItem and nodeHeap implement the Dijkstra priority queue with
-// deterministic (dist, node) ordering.
+// heapItem orders the Dijkstra priority queue deterministically by
+// (dist, node); the queue itself is an allocation-free pq.Heap.
 type heapItem struct {
 	node NodeID
 	dist Weight
 }
 
-type nodeHeap []heapItem
-
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist < h[j].dist
+func lessHeapItem(a, b heapItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
 	}
-	return h[i].node < h[j].node
-}
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return a.node < b.node
 }

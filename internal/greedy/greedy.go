@@ -22,6 +22,7 @@ import (
 
 	"dtm/internal/coloring"
 	"dtm/internal/core"
+	"dtm/internal/depgraph"
 	"dtm/internal/graph"
 	"dtm/internal/obs"
 	"dtm/internal/sched"
@@ -46,6 +47,11 @@ type Options struct {
 	// objects that queue at saturated links, trading nominal latency for
 	// fewer congestion stalls (experiment F13). Zero means 1 (no padding).
 	Pad int
+	// RebuildOracle selects the original per-arrival rebuild of H'_t
+	// instead of the incremental depgraph index. Both engines produce
+	// byte-identical schedules (the root differential test pins this);
+	// the oracle is kept as the reference implementation.
+	RebuildOracle bool
 }
 
 func (o Options) pad() graph.Weight {
@@ -70,10 +76,16 @@ type Greedy struct {
 	env  *sched.Env
 	beta graph.Weight
 
+	// Incremental engine (default): the persistent conflict index.
+	idx     *depgraph.Index
+	scratch *depgraph.Scratch
+
+	// Rebuild oracle: per-arrival live tracking.
 	live     []core.TxID                // scheduled and possibly still live
 	objUsers map[core.ObjID][]core.TxID // live scheduled users per object
-	buffer   []*core.Transaction        // Uniform mode: awaiting epoch
-	audit    Audit
+
+	buffer []*core.Transaction // Uniform mode: awaiting epoch
+	audit  Audit
 
 	// Instrument handles; nil (free) when observability is disabled.
 	metScheduled *obs.Counter   // greedy.colors_assigned
@@ -107,6 +119,14 @@ func (g *Greedy) Start(env *sched.Env) error {
 	g.metScheduled = env.Obs.Counter("greedy.colors_assigned")
 	g.metWithin = env.Obs.Counter("greedy.within_bound")
 	g.metColor = env.Obs.Histogram("greedy.color", obs.PowersOfTwo(16))
+	if !g.opts.RebuildOracle {
+		g.idx = depgraph.NewIndex(env.Sim)
+		g.idx.RegisterMetrics(env.Obs)
+		g.scratch = env.Scratch
+		if g.scratch == nil {
+			g.scratch = depgraph.GetScratch()
+		}
+	}
 	g.beta = g.opts.Beta
 	if g.opts.Uniform {
 		if g.beta == 0 {
@@ -156,12 +176,143 @@ func (g *Greedy) ScheduleBatch(txns []*core.Transaction) error {
 }
 
 // schedule colors the new transactions against the extended dependency
-// graph H'_t and fixes their execution times.
+// graph H'_t and fixes their execution times. The incremental engine
+// (default) walks the persistent depgraph index; RebuildOracle keeps the
+// original reconstruct-per-arrival path as a reference. Both produce the
+// same schedule for every input: the greedy color depends only on the
+// set of forbidden intervals, which the two engines assemble from the
+// same edges via the shared coloring.SmallestValid* sweeps.
 func (g *Greedy) schedule(txns []*core.Transaction) error {
 	if len(txns) == 0 {
 		return nil
 	}
 	now := g.env.Sim.Now()
+	if g.opts.RebuildOracle {
+		return g.scheduleRebuild(txns, now)
+	}
+	return g.scheduleIncremental(txns, now)
+}
+
+// scheduleIncremental is the depgraph-backed engine: prune-by-expiry,
+// insert the batch into the object postings, then color each transaction
+// from its posting neighborhood.
+func (g *Greedy) scheduleIncremental(txns []*core.Transaction, now core.Time) error {
+	g.idx.Refresh(now)
+	sc := g.scratch
+
+	// Insert every new transaction before coloring any, so same-batch
+	// conflicts are visible from both sides (the rebuild path wires
+	// new-new edges explicitly before its coloring loop). Color in ID
+	// order, exactly like the oracle.
+	sorted := append(sc.Txns[:0], txns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	slots := sc.Slots[:0]
+	for _, tx := range sorted {
+		slots = append(slots, g.idx.Insert(tx))
+	}
+
+	var err error
+	for i, tx := range sorted {
+		// Gather the forbidden intervals and the Δ/Γ bound terms from the
+		// edges incident to tx in H'_t. Weight-0 edges impose no
+		// constraint and are dropped (as coloring.AddEdge drops them).
+		forb := sc.Forb[:0]
+		var deg int
+		var wdeg graph.Weight
+		if g.opts.Hub != nil {
+			w := g.env.G.Dist(*g.opts.Hub, tx.Node)
+			if g.opts.Uniform && w%g.beta != 0 {
+				w = (w/g.beta + 1) * g.beta
+			}
+			if w > 0 {
+				deg++
+				wdeg += w
+				forb = append(forb, coloring.Forbid(0, w))
+			}
+		}
+		for _, o := range tx.Objects {
+			// Current-transaction (Z) edge: a pure floor at pre-color 0.
+			if w := g.zWeight(o, tx.Node, now); w > 0 {
+				deg++
+				wdeg += w
+				forb = append(forb, coloring.Forbid(0, w))
+			}
+		}
+		nbrs := g.idx.AppendNeighbors(slots[i], sc.Nbrs[:0])
+		for _, nb := range nbrs {
+			w := g.conflictWeight(tx.Node, nb.Node)
+			if w == 0 {
+				continue
+			}
+			// Same-batch neighbors not yet colored still count toward the
+			// bound, like uncolored vertices in the rebuild graph.
+			deg++
+			wdeg += w
+			if nb.Exec != depgraph.Undecided {
+				forb = append(forb, coloring.Forbid(coloring.Color(nb.Exec-now), w))
+			}
+		}
+		sc.Nbrs = nbrs[:0]
+
+		var c, bound coloring.Color
+		if g.opts.Uniform {
+			c = coloring.SmallestValidMultiple(forb, g.beta)
+			bound = coloring.Color(wdeg) + coloring.Color(g.beta)
+		} else {
+			c = coloring.SmallestValid(forb)
+			bound = 2*coloring.Color(wdeg) - coloring.Color(deg)
+			if bound < 0 {
+				bound = 0
+			}
+		}
+		sc.Forb = forb[:0]
+		g.recordAudit(c, bound)
+		if err = g.env.Sim.Decide(tx.ID, now+core.Time(c)); err != nil {
+			break
+		}
+		g.idx.SetDecided(slots[i], now+core.Time(c))
+	}
+	sc.Slots = slots[:0]
+	sc.Txns = sorted[:0]
+	return err
+}
+
+// recordAudit accumulates the Theorem 1/2 bound check for one assignment.
+func (g *Greedy) recordAudit(c, bound coloring.Color) {
+	g.audit.Scheduled++
+	g.metScheduled.Inc()
+	g.metColor.Observe(int64(c))
+	if c <= bound {
+		g.audit.WithinBound++
+		g.metWithin.Inc()
+	}
+	if c > g.audit.MaxColor {
+		g.audit.MaxColor = c
+	}
+	if bound > g.audit.MaxBound {
+		g.audit.MaxBound = bound
+	}
+}
+
+// LiveStats reports the live-set bookkeeping sizes — tracked live
+// transactions and total object-posting entries — for the leak-guard
+// tests: after a prune at time t, neither set may retain transactions
+// executed before t.
+func (g *Greedy) LiveStats() (live, postings int) {
+	if g.idx != nil {
+		st := g.idx.Snapshot()
+		return st.LiveVertices, st.PostingEntries
+	}
+	live = len(g.live)
+	for _, users := range g.objUsers {
+		postings += len(users)
+	}
+	return live, postings
+}
+
+// scheduleRebuild is the reference engine: it reconstructs the extended
+// dependency graph from scratch at every arrival.
+func (g *Greedy) scheduleRebuild(txns []*core.Transaction, now core.Time) error {
 	g.prune(now)
 
 	// Vertex layout: [new txns][conflicting scheduled live txns][Z vertices]
@@ -302,19 +453,7 @@ func (g *Greedy) schedule(txns []*core.Transaction) error {
 				bound = 0
 			}
 		}
-		g.audit.Scheduled++
-		g.metScheduled.Inc()
-		g.metColor.Observe(int64(c))
-		if c <= bound {
-			g.audit.WithinBound++
-			g.metWithin.Inc()
-		}
-		if c > g.audit.MaxColor {
-			g.audit.MaxColor = c
-		}
-		if bound > g.audit.MaxBound {
-			g.audit.MaxBound = bound
-		}
+		g.recordAudit(c, bound)
 		if err := g.env.Sim.Decide(tx.ID, now+core.Time(c)); err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dtm/internal/core"
+	"dtm/internal/depgraph"
 	"dtm/internal/graph"
 )
 
@@ -60,7 +61,8 @@ func RunClosedLoop(g *graph.Graph, cfg ClosedLoopConfig, s Scheduler, opts Optio
 		return nil, nil, err
 	}
 	dm := newDriverMetrics(opts.Obs)
-	env := &Env{Sim: sim, G: g, Obs: opts.Obs}
+	env := &Env{Sim: sim, G: g, Obs: opts.Obs, Scratch: depgraph.GetScratch()}
+	defer env.Scratch.Release()
 	if err := s.Start(env); err != nil {
 		return nil, nil, fmt.Errorf("sched: %s start: %w", s.Name(), err)
 	}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dtm/internal/core"
+	"dtm/internal/depgraph"
 	"dtm/internal/graph"
 	"dtm/internal/lowerbound"
 	"dtm/internal/obs"
@@ -29,6 +30,11 @@ type Env struct {
 	// Obs is the run's observability registry (nil when disabled);
 	// schedulers register their own instruments from Start.
 	Obs *obs.Metrics
+	// Scratch is the run's pooled scratch-buffer set. The drivers populate
+	// it and return it to the pool when the run ends, so schedulers must
+	// not retain it past the run. May be nil under custom drivers;
+	// schedulers fall back to fetching their own.
+	Scratch *depgraph.Scratch
 }
 
 // Scheduler is an online transaction scheduling algorithm. Implementations
@@ -161,7 +167,8 @@ func Run(in *core.Instance, s Scheduler, opts Options) (*RunResult, error) {
 		return nil, err
 	}
 	dm := newDriverMetrics(opts.Obs)
-	env := &Env{Sim: sim, G: in.G, Obs: opts.Obs}
+	env := &Env{Sim: sim, G: in.G, Obs: opts.Obs, Scratch: depgraph.GetScratch()}
+	defer env.Scratch.Release()
 	if err := s.Start(env); err != nil {
 		return nil, fmt.Errorf("sched: %s start: %w", s.Name(), err)
 	}

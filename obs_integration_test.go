@@ -47,6 +47,7 @@ func TestMetricsGoldenCliqueGreedy(t *testing.T) {
 		"core.travel_weight":     31,
 		"core.txns_added":        0,
 		"core.violations":        0,
+		"depgraph.edges_reused":  111,
 		"greedy.colors_assigned": 16,
 		"greedy.within_bound":    16,
 		"sched.arrivals":         16,
@@ -66,6 +67,12 @@ func TestMetricsGoldenCliqueGreedy(t *testing.T) {
 	}
 	if g := snap.Gauges["core.live_txns"]; g.Value != 0 || g.Max != 10 {
 		t.Errorf("core.live_txns = %+v, want value 0 max 10", g)
+	}
+	if g, ok := snap.Gauges["depgraph.live_vertices"]; !ok || g.Max < 1 {
+		t.Errorf("depgraph.live_vertices = %+v (present %v), want max >= 1", g, ok)
+	}
+	if g, ok := snap.Gauges["depgraph.arena_bytes"]; !ok || g.Max < 1 {
+		t.Errorf("depgraph.arena_bytes = %+v (present %v), want max >= 1", g, ok)
 	}
 	h, ok := snap.Histograms["core.commit_latency"]
 	if !ok {
