@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench bench-quick bench-scale
+.PHONY: all build test check vet fmt lint race bench bench-quick bench-scale fuzz-quick
 
 all: check
 
@@ -10,13 +10,19 @@ build:
 test: build
 	$(GO) test ./...
 
-# check is the CI gate: static checks plus the race detector over the
-# concurrent engines (parallel distnet + the distributed protocol) and
-# the sweep runner's worker pool.
-check: vet fmt race test
+# check is the CI gate: static checks (vet, gofmt, the dtmlint analyzer
+# suite) plus the race detector over the concurrent engines (parallel
+# distnet + the distributed protocol) and the sweep runner's worker pool.
+check: vet fmt lint race test
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the dtmlint multichecker: the determinism, metric-name, and
+# pool-hygiene analyzers in internal/analysis. Zero findings is the gate;
+# justified exceptions use //lint:ignore <analyzer> <reason>.
+lint: build
+	$(GO) run ./cmd/dtmlint ./...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -44,3 +50,12 @@ bench-quick: build bench-scale
 # ns/arrival and allocs/arrival per engine to BENCH_scale.json.
 bench-scale: build
 	$(GO) run ./cmd/dtmbench -quick -scalejson BENCH_scale.json
+
+# fuzz-quick gives each native fuzzer a short budget: the coloring
+# interval sweeps (every color decision funnels through them) and the
+# persistent conflict-index invariants. The seed corpora also run as
+# plain tests under `make test`.
+fuzz-quick: build
+	$(GO) test -run '^$$' -fuzz 'FuzzSmallestValid$$' -fuzztime 30s ./internal/coloring/
+	$(GO) test -run '^$$' -fuzz 'FuzzSmallestValidMultiple$$' -fuzztime 30s ./internal/coloring/
+	$(GO) test -run '^$$' -fuzz 'FuzzIndexInvariants$$' -fuzztime 30s ./internal/depgraph/

@@ -1,0 +1,177 @@
+// Package analysis is dtmlint's self-contained static-analysis framework:
+// a minimal, stdlib-only reimplementation of the golang.org/x/tools
+// go/analysis surface (Analyzer / Pass / Diagnostic) plus a module loader
+// and a //lint:ignore suppression mechanism.
+//
+// The module deliberately has no external dependencies (the obs layer
+// makes the same choice), so the framework builds on go/parser and
+// go/types alone: packages are parsed and type-checked in import order,
+// with stdlib imports resolved through the compiler's export data (and a
+// source-importer fallback). The analyzers it hosts machine-check the
+// invariants the reproduction's byte-identical decision logs rest on:
+//
+//   - detrange: no order-dependent sinks fed from unsorted map iteration
+//     in engine packages (schedule determinism);
+//   - detclock: no wall-clock or global math/rand in engine packages
+//     (simulation time and explicitly seeded sources only);
+//   - obsnames: every obs metric name resolves to the string-constant
+//     registry in internal/obs/names.go (no typo-class drift);
+//   - poolreturn: pooled scratch acquired from a sync.Pool is released on
+//     every return path (no silent pool leaks).
+//
+// A finding can be suppressed with a justified directive on the same or
+// the preceding line:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a bare directive is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of the guarded invariant.
+	Doc string
+	// AppliesTo reports whether the analyzer should run on the package
+	// with the given import path. A nil AppliesTo means every package.
+	// Drivers consult it; test harnesses may bypass it to run analyzers
+	// directly on fixtures.
+	AppliesTo func(pkgPath string) bool
+	// Run performs the analysis, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, positioned at Pos.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings reported so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Pos
+	line      int
+	analyzers map[string]bool
+	malformed string // non-empty if the directive is unusable
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseDirectives extracts the //lint:ignore directives from a file.
+func parseDirectives(fset *token.FileSet, file *ast.File) []ignoreDirective {
+	var ds []ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // some other //lint:ignoreXxx comment
+			}
+			fields := strings.Fields(rest)
+			d := ignoreDirective{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			if len(fields) < 2 {
+				d.malformed = "//lint:ignore needs an analyzer name and a reason"
+			} else {
+				d.analyzers = make(map[string]bool)
+				for _, name := range strings.Split(fields[0], ",") {
+					d.analyzers[name] = true
+				}
+			}
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// Filter drops diagnostics covered by a //lint:ignore directive in files.
+// A directive covers findings of the named analyzer(s) on its own line and
+// on the following line (so it works both trailing the offending statement
+// and on a line of its own above it). Malformed directives are surfaced as
+// fresh diagnostics so a bare, unjustified ignore cannot pass the gate.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	covered := make(map[key]map[string]bool)
+	var out []Diagnostic
+	for _, f := range files {
+		for _, d := range parseDirectives(fset, f) {
+			if d.malformed != "" {
+				out = append(out, Diagnostic{Pos: d.pos, Analyzer: "dtmlint", Message: d.malformed})
+				continue
+			}
+			pos := fset.Position(d.pos)
+			for _, line := range []int{d.line, d.line + 1} {
+				k := key{file: pos.Filename, line: line}
+				if covered[k] == nil {
+					covered[k] = make(map[string]bool)
+				}
+				for name := range d.analyzers {
+					covered[k][name] = true
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if covered[key{pos.Filename, pos.Line}][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// RunAnalyzer runs a on pkg and returns its unsuppressed findings.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	return Filter(pkg.Fset, pkg.Files, pass.Diagnostics()), nil
+}

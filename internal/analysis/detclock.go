@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detclock reports wall-clock reads and global math/rand use in engine
+// packages. Engine code must advance only on simulation time (core.Time)
+// and draw randomness only from explicitly seeded sources (rand.New with
+// a seeded rand.NewSource, or the splitmix64 hashing in distnet), or two
+// runs of the same instance can diverge and the byte-identical decision
+// log guarantee (and with it the Theorem 1/2/4 audits) is void.
+//
+// The runner and cmd/ front-ends legitimately time wall-clock spans and
+// are outside the analyzer's scope; an engine-side wall-clock metric
+// needs a //lint:ignore detclock justification.
+var Detclock = &Analyzer{
+	Name: "detclock",
+	Doc: "forbid time.Now/Since and unseeded global math/rand in engine packages; " +
+		"engine code runs on simulation time and seeded sources only",
+	AppliesTo: func(pkgPath string) bool {
+		if pkgPath == "dtm" {
+			return true
+		}
+		if !strings.HasPrefix(pkgPath, "dtm/internal/") {
+			return false
+		}
+		// The sweep runner times wall-clock spans by design.
+		return pkgPath != "dtm/internal/runner"
+	},
+	Run: runDetclock,
+}
+
+// forbiddenTimeFuncs are the wall-clock entry points of package time.
+// Types and constants (time.Duration, time.Millisecond) stay legal.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// allowedRandFuncs are the math/rand package-level constructors that bind
+// an explicit seed; everything else at package level draws from the
+// global source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runDetclock(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in engine package %s: engine code runs on simulation time (core.Time); justify with //lint:ignore detclock or move to runner/cmd",
+						fn.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global math/rand source via rand.%s in engine package %s: use a seeded rand.New(rand.NewSource(seed)) so runs replay byte-identically",
+						fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseTestFile(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// lineOf returns the position of the first character on the 1-based line.
+func lineOf(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	return fset.File(f.Pos()).LineStart(line)
+}
+
+func TestFilterSameAndNextLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore detclock justified above
+	_ = 1
+	_ = 2 //lint:ignore detclock justified trailing
+	_ = 3
+	_ = 4
+}
+`
+	fset, f := parseTestFile(t, src)
+	diags := []Diagnostic{
+		{Pos: lineOf(fset, f, 5), Analyzer: "detclock", Message: "covered by preceding line"},
+		{Pos: lineOf(fset, f, 6), Analyzer: "detclock", Message: "covered trailing"},
+		{Pos: lineOf(fset, f, 7), Analyzer: "detclock", Message: "covered by trailing directive's next-line span"},
+		{Pos: lineOf(fset, f, 8), Analyzer: "detclock", Message: "uncovered"},
+		{Pos: lineOf(fset, f, 5), Analyzer: "detrange", Message: "wrong analyzer, stays"},
+	}
+	got := Filter(fset, []*ast.File{f}, diags)
+	var msgs []string
+	for _, d := range got {
+		msgs = append(msgs, d.Message)
+	}
+	want := []string{"wrong analyzer, stays", "uncovered"}
+	if len(got) != len(want) {
+		t.Fatalf("Filter kept %v, want %v", msgs, want)
+	}
+	for i := range want {
+		if msgs[i] != want[i] {
+			t.Errorf("kept[%d] = %q, want %q", i, msgs[i], want[i])
+		}
+	}
+}
+
+func TestFilterMalformedDirectiveReported(t *testing.T) {
+	src := `package p
+
+//lint:ignore
+func f() {}
+
+//lint:ignore detclock
+func g() {}
+`
+	fset, f := parseTestFile(t, src)
+	got := Filter(fset, []*ast.File{f}, nil)
+	if len(got) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 malformed-directive reports: %v", len(got), got)
+	}
+	for _, d := range got {
+		if d.Analyzer != "dtmlint" || !strings.Contains(d.Message, "analyzer name and a reason") {
+			t.Errorf("unexpected diagnostic %+v", d)
+		}
+	}
+}
+
+func TestFilterCommaSeparatedAnalyzers(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore detclock,detrange spans both analyzers
+	_ = 1
+}
+`
+	fset, f := parseTestFile(t, src)
+	diags := []Diagnostic{
+		{Pos: lineOf(fset, f, 5), Analyzer: "detclock", Message: "a"},
+		{Pos: lineOf(fset, f, 5), Analyzer: "detrange", Message: "b"},
+		{Pos: lineOf(fset, f, 5), Analyzer: "obsnames", Message: "c"},
+	}
+	got := Filter(fset, []*ast.File{f}, diags)
+	if len(got) != 1 || got[0].Analyzer != "obsnames" {
+		t.Fatalf("Filter kept %v, want only the obsnames finding", got)
+	}
+}
+
+func TestFilterIgnoresLookalikePrefix(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignoreharder detclock not a real directive
+	_ = 1
+}
+`
+	fset, f := parseTestFile(t, src)
+	diags := []Diagnostic{{Pos: lineOf(fset, f, 5), Analyzer: "detclock", Message: "kept"}}
+	got := Filter(fset, []*ast.File{f}, diags)
+	if len(got) != 1 || got[0].Message != "kept" {
+		t.Fatalf("lookalike directive suppressed a finding: %v", got)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		max  int
+		want int
+	}{
+		{"depgraph.live_verts", "depgraph.live_vertices", 2, 3}, // beyond cutoff
+		{"greedy.within_bouund", "greedy.within_bound", 2, 1},
+		{"core.commits", "core.commits", 2, 0},
+		{"a", "abcde", 2, 3}, // length gap short-circuits to max+1
+		{"bucket.level", "bucket.leveI", 2, 1},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b, c.max); got != c.want {
+			t.Errorf("editDistance(%q, %q, %d) = %d, want %d", c.a, c.b, c.max, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Obsnames resolves every (*obs.Metrics).Counter/Gauge/Histogram name
+// argument against the string-constant registry in internal/obs/names.go.
+// A name must be a compile-time string constant whose value is registered
+// (the Name* constants), or a registered NamePrefix* constant
+// concatenated with a runtime suffix for dynamic families. Unregistered
+// names are reported, with a did-you-mean suggestion when the spelling is
+// within edit distance 2 of a registered name — the
+// "depgraph.live_verts"-style typo class that would silently fork a
+// metric into two series and break the golden metrics test.
+//
+// The registry is read from the type-checked obs package itself (every
+// exported string constant named Name*/NamePrefix*), so analyzer and
+// registry cannot drift apart.
+var Obsnames = &Analyzer{
+	Name: "obsnames",
+	Doc: "require every obs counter/gauge/histogram name to resolve to the " +
+		"registered string constants in internal/obs/names.go",
+	AppliesTo: func(pkgPath string) bool {
+		// The obs package itself manipulates names generically (Merge,
+		// Snapshot); everything else in the module is in scope.
+		return pkgPath != "dtm/internal/obs"
+	},
+	Run: runObsnames,
+}
+
+// metricsFactories are the registering methods of obs.Metrics.
+var metricsFactories = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// nameRegistry is the registry extracted from the obs package scope.
+type nameRegistry struct {
+	names    map[string]bool
+	prefixes []string
+}
+
+// extractRegistry pulls the Name*/NamePrefix* string constants out of the
+// obs package's scope.
+func extractRegistry(obsPkg *types.Package) *nameRegistry {
+	reg := &nameRegistry{names: make(map[string]bool)}
+	scope := obsPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Name") {
+			continue
+		}
+		if c.Val().Kind() != constant.String {
+			continue
+		}
+		v := constant.StringVal(c.Val())
+		if strings.HasPrefix(name, "NamePrefix") {
+			reg.prefixes = append(reg.prefixes, v)
+		} else {
+			reg.names[v] = true
+		}
+	}
+	return reg
+}
+
+func (r *nameRegistry) hasPrefixFor(s string) bool {
+	for _, p := range r.prefixes {
+		if s == p || (len(s) > len(p) && strings.HasPrefix(s, p)) {
+			return true
+		}
+	}
+	return false
+}
+
+// nearest returns the registered name closest to s within edit distance
+// 2, if any.
+func (r *nameRegistry) nearest(s string) (string, bool) {
+	best, bestD := "", 3
+	for name := range r.names {
+		if d := editDistance(s, name, 2); d < bestD {
+			best, bestD = name, d
+		}
+	}
+	return best, best != ""
+}
+
+// editDistance is the Levenshtein distance between a and b, cut off above
+// max (returns max+1 when exceeded).
+func editDistance(a, b string, max int) int {
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	if la-lb > max || lb-la > max {
+		return max + 1
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > max {
+			return max + 1
+		}
+		prev, cur = cur, prev
+	}
+	if prev[lb] > max {
+		return max + 1
+	}
+	return prev[lb]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func runObsnames(pass *Pass) error {
+	var reg *nameRegistry // lazily extracted from the first factory call's package
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !metricsFactories[fn.Name()] {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isMetricsRecv(sig.Recv().Type()) {
+				return true
+			}
+			if reg == nil {
+				reg = extractRegistry(fn.Pkg())
+			}
+			checkNameArg(pass, reg, call.Args[0])
+			return true
+		})
+	}
+	return nil
+}
+
+// isMetricsRecv reports whether t is obs.Metrics or *obs.Metrics.
+func isMetricsRecv(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Metrics" && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Name() == "obs"
+}
+
+// checkNameArg validates one metric-name argument expression.
+func checkNameArg(pass *Pass, reg *nameRegistry, arg ast.Expr) {
+	if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		name := constant.StringVal(tv.Value)
+		if reg.names[name] {
+			return
+		}
+		if reg.hasPrefixFor(name) {
+			return
+		}
+		if near, ok := reg.nearest(name); ok {
+			pass.Reportf(arg.Pos(),
+				"unregistered obs metric name %q (did you mean %q?); register it in internal/obs/names.go",
+				name, near)
+		} else {
+			pass.Reportf(arg.Pos(),
+				"unregistered obs metric name %q; register it in internal/obs/names.go",
+				name)
+		}
+		return
+	}
+	// Dynamic name: accept `<registered prefix constant> + suffix`.
+	if bin, ok := arg.(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+		if tv, ok := pass.Info.Types[bin.X]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			if reg.hasPrefixFor(constant.StringVal(tv.Value)) {
+				return
+			}
+		}
+	}
+	pass.Reportf(arg.Pos(),
+		"obs metric name is not a registered compile-time constant; use an obs.Name* constant (or a registered obs.NamePrefix* + suffix for dynamic families)")
+}

@@ -1,0 +1,41 @@
+// Fixture for the detclock analyzer: wall-clock and global-rand reads
+// are findings; seeded rand and simulated time are not.
+package detclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock time\.Now in engine package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock time\.Since in engine package`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep in engine package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand source via rand\.Intn`
+}
+
+// seeded draws from an explicitly seeded generator: allowed.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// simTime advances simulated time, which is the sanctioned clock.
+func simTime(now int64) int64 {
+	return now + 1
+}
+
+// suppressed shows a justified wall-clock read silenced by a directive.
+func suppressed() int64 {
+	//lint:ignore detclock fixture: observability-only wall-clock read
+	return time.Now().UnixNano()
+}

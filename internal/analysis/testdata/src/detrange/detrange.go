@@ -1,0 +1,68 @@
+// Fixture for the detrange analyzer: map iterations feeding
+// order-dependent sinks are findings; commutative folds and the
+// collect-then-sort idiom are not.
+package detrange
+
+import "sort"
+
+func appendNoSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside map iteration`
+	}
+	return keys
+}
+
+// appendThenSort is the canonical deterministic idiom: collect, sort,
+// then consume. Not a finding.
+func appendThenSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// localAccumulator appends only to a slice declared inside the loop
+// body, so no order escapes the iteration. Not a finding.
+func localAccumulator(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		n += len(local)
+	}
+	return n
+}
+
+type sim struct{}
+
+func (sim) Decide(tx, at int) {}
+
+func decideInRange(s sim, m map[int]int) {
+	for tx, at := range m {
+		s.Decide(tx, at) // want `order-dependent Decide call inside map iteration`
+	}
+}
+
+// commutative folds are order-insensitive. Not a finding.
+func commutative(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRange is not a map iteration at all. Not a finding.
+func sliceRange(xs []int, s sim) {
+	var out []int
+	for i, x := range xs {
+		out = append(out, x)
+		s.Decide(i, x)
+	}
+	_ = out
+}

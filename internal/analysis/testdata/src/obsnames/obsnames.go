@@ -1,0 +1,50 @@
+// Fixture for the obsnames analyzer: metric names must resolve to the
+// registered constants in internal/obs/names.go.
+package obsnames
+
+import "dtm/internal/obs"
+
+// registered uses obs.Name* constants and a literal that spells a
+// registered value exactly; none of these are findings.
+func registered(m *obs.Metrics) {
+	m.Counter(obs.NameCoreDecisions).Add(1)
+	m.Counter("core.commits").Add(1)
+	m.Gauge(obs.NameCoreLiveTxns).Set(0)
+	m.Histogram(obs.NameCoreHopWeight, obs.PowersOfTwo(4)).Observe(1)
+}
+
+func typo(m *obs.Metrics) {
+	m.Counter("greedy.within_bouund") // want `unregistered obs metric name "greedy\.within_bouund" \(did you mean "greedy\.within_bound"\?\)`
+}
+
+func truncated(m *obs.Metrics) {
+	// Too far from any registered name for a suggestion (distance > 2).
+	m.Gauge("depgraph.live_verts") // want `unregistered obs metric name "depgraph\.live_verts"; register it`
+}
+
+func unknown(m *obs.Metrics) {
+	m.Counter("nobody.knows_this") // want `unregistered obs metric name "nobody\.knows_this"`
+}
+
+// dynamicOK extends a registered prefix family with a runtime suffix.
+func dynamicOK(m *obs.Metrics, kind string) {
+	m.Counter(obs.NamePrefixDistnetMsg + kind).Add(1)
+}
+
+func dynamicBad(m *obs.Metrics, kind string) {
+	m.Counter("distnet." + kind) // want `not a registered compile-time constant`
+}
+
+func fullyDynamic(m *obs.Metrics, name string) {
+	m.Counter(name) // want `not a registered compile-time constant`
+}
+
+// notMetrics has the same method names on an unrelated type; the
+// analyzer keys on the obs.Metrics receiver, so these are not findings.
+type notMetrics struct{}
+
+func (notMetrics) Counter(name string) {}
+
+func unrelated(n notMetrics) {
+	n.Counter("whatever.name")
+}

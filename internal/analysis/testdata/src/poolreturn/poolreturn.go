@@ -1,0 +1,62 @@
+// Fixture for the poolreturn analyzer: pooled scratch must be released
+// on every return path of the acquiring function.
+package poolreturn
+
+import (
+	"sync"
+
+	"dtm/internal/depgraph"
+)
+
+var pool = sync.Pool{New: func() interface{} { return new([]int) }}
+
+func leaks() {
+	buf := pool.Get().(*[]int) // want `pooled scratch from sync\.Pool Get is not released on every return path \(no Release/Put in this function\)`
+	_ = buf
+}
+
+// deferred releases via defer, which dominates every return path.
+func deferred(cond bool) {
+	buf := pool.Get().(*[]int)
+	defer pool.Put(buf)
+	if cond {
+		return
+	}
+	*buf = (*buf)[:0]
+}
+
+func conditionalLeak(cond bool) {
+	sc := depgraph.GetScratch() // want `pooled scratch from GetScratch\(\) is not released on every return path \(return at .* precedes the release\)`
+	if cond {
+		return
+	}
+	sc.Release()
+}
+
+// releasedBeforeReturn releases on its single (implicit) path.
+func releasedBeforeReturn() {
+	sc := depgraph.GetScratch()
+	sc.Nbrs = sc.Nbrs[:0]
+	sc.Release()
+}
+
+// escapesToCaller transfers ownership to the caller; not tracked.
+func escapesToCaller() *depgraph.Scratch {
+	sc := depgraph.GetScratch()
+	return sc
+}
+
+type holder struct{ sc *depgraph.Scratch }
+
+// compositeDeferred binds the acquire through a composite-literal field
+// and releases it via defer, like the sched drivers do with Env.Scratch.
+func compositeDeferred() {
+	h := &holder{sc: depgraph.GetScratch()}
+	defer h.sc.Release()
+	_ = h
+}
+
+func compositeLeak() {
+	h := &holder{sc: depgraph.GetScratch()} // want `pooled scratch from GetScratch\(\) is not released on every return path \(no Release/Put in this function\)`
+	_ = h
+}

@@ -122,11 +122,11 @@ func (b *Bucket) Start(env *sched.Env) error {
 		return fmt.Errorf("bucket: no batch scheduler configured")
 	}
 	b.env = env
-	b.metInserted = env.Obs.Counter("bucket.insertions")
-	b.metOverflow = env.Obs.Counter("bucket.overflows")
-	b.metActivations = env.Obs.Counter("bucket.activations")
-	b.metScheduled = env.Obs.Counter("bucket.scheduled")
-	b.metLevel = env.Obs.Histogram("bucket.level", obs.PowersOfTwo(6))
+	b.metInserted = env.Obs.Counter(obs.NameBucketInsertions)
+	b.metOverflow = env.Obs.Counter(obs.NameBucketOverflows)
+	b.metActivations = env.Obs.Counter(obs.NameBucketActivations)
+	b.metScheduled = env.Obs.Counter(obs.NameBucketScheduled)
+	b.metLevel = env.Obs.Histogram(obs.NameBucketLevel, obs.PowersOfTwo(6))
 	max := b.opts.MaxLevel
 	if max <= 0 {
 		nd := uint64(env.G.N()) * uint64(env.G.Diameter()) * uint64(b.opts.slow())

@@ -1,0 +1,129 @@
+package coloring
+
+// Native fuzzers for the interval sweeps behind every color decision.
+// SmallestValid/SmallestValidMultiple are the single shared color search
+// of the per-arrival rebuild path and the incremental depgraph engine;
+// a wrong answer here silently corrupts schedules everywhere, so the
+// fuzzers check the results against an exhaustive oracle and pin the
+// order-insensitivity the engines rely on.
+
+import (
+	"testing"
+
+	"dtm/internal/graph"
+)
+
+// decodeIntervals derives a bounded forbidden-interval set from raw fuzz
+// bytes: up to 32 intervals with ends in [-64, 191].
+func decodeIntervals(data []byte) []Interval {
+	n := len(data) / 2
+	if n > 32 {
+		n = 32
+	}
+	forb := make([]Interval, 0, n)
+	for i := 0; i < n; i++ {
+		lo := Color(int64(data[2*i])) - 64
+		width := Color(int64(data[2*i+1]) % 16)
+		forb = append(forb, Interval{Lo: lo, Hi: lo + width})
+	}
+	return forb
+}
+
+// forbidden reports whether c lies in any of the intervals.
+func forbidden(c Color, forb []Interval) bool {
+	for _, f := range forb {
+		if f.Lo <= c && c <= f.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// shuffled returns a deterministic permutation of forb derived from seed
+// (fuzzing must not consult the global rand: determinism is the point).
+func shuffled(forb []Interval, seed uint64) []Interval {
+	out := append([]Interval(nil), forb...)
+	for i := len(out) - 1; i > 0; i-- {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		j := int(seed>>33) % (i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func FuzzSmallestValid(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{64, 5, 70, 3, 80, 0})
+	f.Add([]byte{0, 15, 16, 15, 32, 15, 48, 15})
+	f.Add([]byte{64, 0, 65, 0, 66, 0, 67, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		forb := decodeIntervals(data)
+		c := SmallestValid(append([]Interval(nil), forb...))
+		if c < 0 {
+			t.Fatalf("SmallestValid returned negative color %d", c)
+		}
+		if forbidden(c, forb) {
+			t.Fatalf("SmallestValid returned forbidden color %d for %v", c, forb)
+		}
+		// Minimality: every valid non-negative color is >= c. The candidate
+		// set {0} ∪ {Hi+1} covers every possible smaller answer.
+		for _, cand := range append([]Color{0}, candidates(forb)...) {
+			if cand >= 0 && cand < c && !forbidden(cand, forb) {
+				t.Fatalf("SmallestValid returned %d but %d is valid and smaller (forb %v)", c, cand, forb)
+			}
+		}
+		// Order-insensitivity: a shuffled copy must give the same color.
+		if c2 := SmallestValid(shuffled(forb, uint64(len(data))*2654435761+1)); c2 != c {
+			t.Fatalf("SmallestValid is order-sensitive: %d vs %d for %v", c, c2, forb)
+		}
+		// Forbid round-trip: intervals built by Forbid from (cu, w) pairs
+		// must forbid exactly the colors within w-1 of cu.
+		for _, fi := range forb {
+			w := graph.Weight(fi.Hi-fi.Lo)/2 + 1
+			cu := fi.Lo + Color(w) - 1
+			fb := Forbid(cu, w)
+			if fb.Lo != cu-Color(w)+1 || fb.Hi != cu+Color(w)-1 {
+				t.Fatalf("Forbid(%d, %d) = %+v", cu, w, fb)
+			}
+		}
+	})
+}
+
+// candidates returns the one-past-each-interval candidate colors.
+func candidates(forb []Interval) []Color {
+	out := make([]Color, 0, len(forb))
+	for _, f := range forb {
+		out = append(out, f.Hi+1)
+	}
+	return out
+}
+
+func FuzzSmallestValidMultiple(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{64, 5, 70, 3}, uint8(3))
+	f.Add([]byte{0, 15, 16, 15, 32, 15}, uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, betaRaw uint8) {
+		beta := graph.Weight(betaRaw%16) + 1
+		forb := decodeIntervals(data)
+		c := SmallestValidMultiple(append([]Interval(nil), forb...), beta)
+		if c < Color(beta) {
+			t.Fatalf("SmallestValidMultiple returned %d < beta %d", c, beta)
+		}
+		if c%Color(beta) != 0 {
+			t.Fatalf("SmallestValidMultiple returned %d, not a multiple of %d", c, beta)
+		}
+		if forbidden(c, forb) {
+			t.Fatalf("SmallestValidMultiple returned forbidden color %d for %v", c, forb)
+		}
+		// Minimality over the multiples of beta below c.
+		for cand := Color(beta); cand < c; cand += Color(beta) {
+			if !forbidden(cand, forb) {
+				t.Fatalf("SmallestValidMultiple returned %d but multiple %d is valid (beta %d, forb %v)",
+					c, cand, beta, forb)
+			}
+		}
+		if c2 := SmallestValidMultiple(shuffled(forb, uint64(betaRaw)*0x9e3779b97f4a7c15+uint64(len(data))), beta); c2 != c {
+			t.Fatalf("SmallestValidMultiple is order-sensitive: %d vs %d", c, c2)
+		}
+	})
+}

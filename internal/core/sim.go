@@ -58,17 +58,17 @@ func newSimMetrics(m *obs.Metrics) simMetrics {
 		return simMetrics{}
 	}
 	return simMetrics{
-		decisions:  m.Counter("core.decisions"),
-		commits:    m.Counter("core.commits"),
-		violations: m.Counter("core.violations"),
-		moves:      m.Counter("core.object_moves"),
-		travel:     m.Counter("core.travel_weight"),
-		hops:       m.Histogram("core.hop_weight", obs.PowersOfTwo(12)),
-		latency:    m.Histogram("core.commit_latency", obs.PowersOfTwo(16)),
-		live:       m.Gauge("core.live_txns"),
-		linkQueued: m.Counter("core.link_queued"),
-		elastic:    m.Counter("core.elastic_waits"),
-		added:      m.Counter("core.txns_added"),
+		decisions:  m.Counter(obs.NameCoreDecisions),
+		commits:    m.Counter(obs.NameCoreCommits),
+		violations: m.Counter(obs.NameCoreViolations),
+		moves:      m.Counter(obs.NameCoreObjectMoves),
+		travel:     m.Counter(obs.NameCoreTravelWeight),
+		hops:       m.Histogram(obs.NameCoreHopWeight, obs.PowersOfTwo(12)),
+		latency:    m.Histogram(obs.NameCoreCommitLatency, obs.PowersOfTwo(16)),
+		live:       m.Gauge(obs.NameCoreLiveTxns),
+		linkQueued: m.Counter(obs.NameCoreLinkQueued),
+		elastic:    m.Counter(obs.NameCoreElasticWaits),
+		added:      m.Counter(obs.NameCoreTxnsAdded),
 	}
 }
 

@@ -134,9 +134,9 @@ func NewIndex(oracle ExecOracle) *Index {
 // RegisterMetrics binds the depgraph.* instruments to m (a nil registry
 // leaves the handles free no-ops).
 func (ix *Index) RegisterMetrics(m *obs.Metrics) {
-	ix.metLive = m.Gauge("depgraph.live_vertices")
-	ix.metArena = m.Gauge("depgraph.arena_bytes")
-	ix.metReused = m.Counter("depgraph.edges_reused")
+	ix.metLive = m.Gauge(obs.NameDepgraphLiveVertices)
+	ix.metArena = m.Gauge(obs.NameDepgraphArenaBytes)
+	ix.metReused = m.Counter(obs.NameDepgraphEdgesReused)
 }
 
 // Refresh drops every tracked transaction that executed strictly before

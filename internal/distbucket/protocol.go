@@ -162,18 +162,18 @@ func newProtoMetrics(m *obs.Metrics) protoMetrics {
 		return protoMetrics{}
 	}
 	return protoMetrics{
-		discoveries: m.Counter("distbucket.discoveries"),
-		reports:     m.Counter("distbucket.reports"),
-		inserted:    m.Counter("distbucket.insertions"),
-		overflow:    m.Counter("distbucket.overflows"),
-		activations: m.Counter("distbucket.activations"),
-		reserves:    m.Counter("distbucket.reserves"),
-		grants:      m.Counter("distbucket.grants"),
-		releases:    m.Counter("distbucket.releases"),
-		retries:     m.Counter("distbucket.retries"),
-		timeouts:    m.Counter("distbucket.timeouts"),
-		abandoned:   m.Counter("distbucket.abandoned"),
-		level:       m.Histogram("distbucket.bucket_level", obs.PowersOfTwo(6)),
+		discoveries: m.Counter(obs.NameDistbucketDiscoveries),
+		reports:     m.Counter(obs.NameDistbucketReports),
+		inserted:    m.Counter(obs.NameDistbucketInsertions),
+		overflow:    m.Counter(obs.NameDistbucketOverflows),
+		activations: m.Counter(obs.NameDistbucketActivations),
+		reserves:    m.Counter(obs.NameDistbucketReserves),
+		grants:      m.Counter(obs.NameDistbucketGrants),
+		releases:    m.Counter(obs.NameDistbucketReleases),
+		retries:     m.Counter(obs.NameDistbucketRetries),
+		timeouts:    m.Counter(obs.NameDistbucketTimeouts),
+		abandoned:   m.Counter(obs.NameDistbucketAbandoned),
+		level:       m.Histogram(obs.NameDistbucketBucketLevel, obs.PowersOfTwo(6)),
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"dtm/internal/cover"
 	"dtm/internal/distnet"
 	"dtm/internal/graph"
+	"dtm/internal/obs"
 	"dtm/internal/sched"
 )
 
@@ -144,8 +145,8 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 	if snapEvery == 0 {
 		snapEvery = 1
 	}
-	metArrivals := opts.Obs.Counter("sched.arrivals")
-	metSnaps := opts.Obs.Counter("sched.snapshots")
+	metArrivals := opts.Obs.Counter(obs.NameSchedArrivals)
+	metSnaps := opts.Obs.Counter(obs.NameSchedSnapshots)
 	var snaps []sched.Snapshot
 
 	// driverAbandoned records transactions the driver itself gave up on

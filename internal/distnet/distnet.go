@@ -180,15 +180,15 @@ func newEngineMetrics(m *obs.Metrics) engineMetrics {
 		return engineMetrics{}
 	}
 	return engineMetrics{
-		messages:   m.Counter("distnet.messages"),
-		msgDist:    m.Counter("distnet.msg_distance"),
-		msgBytes:   m.Counter("distnet.msg_bytes"),
-		injects:    m.Counter("distnet.injects"),
-		wakes:      m.Counter("distnet.wakes"),
-		dropped:    m.Counter("distnet.dropped"),
-		duplicated: m.Counter("distnet.duplicated"),
-		delayed:    m.Counter("distnet.delayed"),
-		nodeQueue:  m.Histogram("distnet.node_queue", obs.PowersOfTwo(10)),
+		messages:   m.Counter(obs.NameDistnetMessages),
+		msgDist:    m.Counter(obs.NameDistnetMsgDistance),
+		msgBytes:   m.Counter(obs.NameDistnetMsgBytes),
+		injects:    m.Counter(obs.NameDistnetInjects),
+		wakes:      m.Counter(obs.NameDistnetWakes),
+		dropped:    m.Counter(obs.NameDistnetDropped),
+		duplicated: m.Counter(obs.NameDistnetDuplicated),
+		delayed:    m.Counter(obs.NameDistnetDelayed),
+		nodeQueue:  m.Histogram(obs.NameDistnetNodeQueue, obs.PowersOfTwo(10)),
 	}
 }
 
@@ -253,7 +253,7 @@ func (e *Engine) accountMessage(payload interface{}) {
 		if t != nil {
 			name = t.String()
 		}
-		c = e.opts.Obs.Counter("distnet.msg." + name)
+		c = e.opts.Obs.Counter(obs.NamePrefixDistnetMsg + name)
 		e.byType[t] = c
 		sz := int64(0)
 		if t != nil {

@@ -116,9 +116,9 @@ func (g *Greedy) Audit() Audit { return g.audit }
 // Start implements sched.Scheduler.
 func (g *Greedy) Start(env *sched.Env) error {
 	g.env = env
-	g.metScheduled = env.Obs.Counter("greedy.colors_assigned")
-	g.metWithin = env.Obs.Counter("greedy.within_bound")
-	g.metColor = env.Obs.Histogram("greedy.color", obs.PowersOfTwo(16))
+	g.metScheduled = env.Obs.Counter(obs.NameGreedyColorsAssigned)
+	g.metWithin = env.Obs.Counter(obs.NameGreedyWithinBound)
+	g.metColor = env.Obs.Histogram(obs.NameGreedyColor, obs.PowersOfTwo(16))
 	if !g.opts.RebuildOracle {
 		g.idx = depgraph.NewIndex(env.Sim)
 		g.idx.RegisterMetrics(env.Obs)

@@ -28,6 +28,46 @@ func goldenInstance(t *testing.T) *Instance {
 	return in
 }
 
+// goldenGreedyCounters pins the exact counter values of the golden clique
+// workload under the greedy scheduler. TestGoldenNamesRegistered walks the
+// same map to prove every pinned name is in the obs registry.
+var goldenGreedyCounters = map[string]int64{
+	"core.commits":           16,
+	"core.decisions":         16,
+	"core.elastic_waits":     0,
+	"core.link_queued":       0,
+	"core.object_moves":      31,
+	"core.travel_weight":     31,
+	"core.txns_added":        0,
+	"core.violations":        0,
+	"depgraph.edges_reused":  111,
+	"greedy.colors_assigned": 16,
+	"greedy.within_bound":    16,
+	"sched.arrivals":         16,
+	"sched.snapshots":        2,
+	"sched.wakeups":          0,
+}
+
+// goldenPinnedInstruments lists the gauge and histogram names the golden
+// and cross-check tests assert on by literal name.
+var goldenPinnedInstruments = []string{
+	"core.live_txns",
+	"depgraph.live_vertices",
+	"depgraph.arena_bytes",
+	"core.commit_latency",
+	"core.hop_weight",
+	"distnet.messages",
+	"distnet.msg_distance",
+	"distbucket.insertions",
+	"distbucket.activations",
+	"distnet.injects",
+	"distbucket.discoveries",
+	"distbucket.reports",
+	"distbucket.reserves",
+	"distbucket.grants",
+	"distbucket.releases",
+}
+
 func TestMetricsGoldenCliqueGreedy(t *testing.T) {
 	in := goldenInstance(t)
 	m := NewMetrics()
@@ -38,22 +78,7 @@ func TestMetricsGoldenCliqueGreedy(t *testing.T) {
 	if rr.Metrics == nil {
 		t.Fatal("RunResult.Metrics not populated")
 	}
-	want := map[string]int64{
-		"core.commits":           16,
-		"core.decisions":         16,
-		"core.elastic_waits":     0,
-		"core.link_queued":       0,
-		"core.object_moves":      31,
-		"core.travel_weight":     31,
-		"core.txns_added":        0,
-		"core.violations":        0,
-		"depgraph.edges_reused":  111,
-		"greedy.colors_assigned": 16,
-		"greedy.within_bound":    16,
-		"sched.arrivals":         16,
-		"sched.snapshots":        2,
-		"sched.wakeups":          0,
-	}
+	want := goldenGreedyCounters
 	snap := rr.Metrics
 	for name, v := range want {
 		if got, ok := snap.Counters[name]; !ok || got != v {
