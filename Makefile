@@ -39,8 +39,9 @@ bench:
 # bench-quick times the full experiment suite sequentially and on the
 # parallel worker pool, verifies the outputs are byte-identical, and
 # writes wall-clock numbers + speedup to BENCH_runner.json, plus the T11
-# fault-injection sweep rows to BENCH_faults.json.
-bench-quick: build bench-scale
+# fault-injection sweep rows to BENCH_faults.json. Run bench-scale
+# separately for the engine-comparison rows (CI runs both explicitly).
+bench-quick: build
 	$(GO) run ./cmd/dtmbench -exp all -quick -benchjson BENCH_runner.json >/dev/null
 	$(GO) run ./cmd/dtmbench -quick -faultjson BENCH_faults.json
 
@@ -52,10 +53,12 @@ bench-scale: build
 	$(GO) run ./cmd/dtmbench -quick -scalejson BENCH_scale.json
 
 # fuzz-quick gives each native fuzzer a short budget: the coloring
-# interval sweeps (every color decision funnels through them) and the
-# persistent conflict-index invariants. The seed corpora also run as
-# plain tests under `make test`.
+# interval sweeps (every color decision funnels through them), the
+# persistent conflict-index invariants, and the sessionized batch API's
+# differential against the one-shot schedulers. The seed corpora also run
+# as plain tests under `make test`.
 fuzz-quick: build
 	$(GO) test -run '^$$' -fuzz 'FuzzSmallestValid$$' -fuzztime 30s ./internal/coloring/
 	$(GO) test -run '^$$' -fuzz 'FuzzSmallestValidMultiple$$' -fuzztime 30s ./internal/coloring/
 	$(GO) test -run '^$$' -fuzz 'FuzzIndexInvariants$$' -fuzztime 30s ./internal/depgraph/
+	$(GO) test -run '^$$' -fuzz 'FuzzBatchIncremental$$' -fuzztime 30s ./internal/batch/

@@ -274,6 +274,9 @@ func runScaleBench(path string, quick bool) error {
 			{"bucket-tour-line", bucketIn, func(r bool) sched.Scheduler {
 				return bucket.New(bucket.Options{Batch: batch.Tour{}, RebuildOracle: r})
 			}},
+			{"bucket-coloring-line", bucketIn, func(r bool) sched.Scheduler {
+				return bucket.New(bucket.Options{Batch: batch.Coloring{}, RebuildOracle: r})
+			}},
 		}
 		for _, c := range cells {
 			c := c

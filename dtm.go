@@ -96,11 +96,22 @@ type (
 	GreedyOptions = greedy.Options
 	// BucketOptions configure the Algorithm 2 scheduler.
 	BucketOptions = bucket.Options
+	// EngineOptions is the shared engine-selection knob embedded in both
+	// GreedyOptions and BucketOptions: RebuildOracle selects the
+	// from-scratch reference engine over the incremental default. The
+	// schedulers' own RebuildOracle fields remain as deprecated forwards.
+	EngineOptions = sched.EngineOptions
 	// BatchScheduler is an offline batch algorithm A for the bucket
 	// conversion.
 	BatchScheduler = batch.Scheduler
 	// BatchProblem is an offline batch scheduling problem.
 	BatchProblem = batch.Problem
+	// BatchSession is an incremental batch scheduling session: Push/Pop
+	// edit the candidate set, Cost/Assign evaluate it against the live
+	// problem. Created with NewBatchSession.
+	BatchSession = batch.Session
+	// BatchSessionOptions configure a BatchSession.
+	BatchSessionOptions = batch.SessionOptions
 	// DistributedOptions configure the Algorithm 3 protocol run,
 	// including the injected fault plan (Faults field).
 	DistributedOptions = distbucket.Options
@@ -235,6 +246,15 @@ func NewCoordinator(hub NodeID, opts GreedyOptions) *greedy.Coordinator {
 // NewBucket returns the Algorithm 2 online bucket scheduler converting the
 // offline batch algorithm in opts.Batch.
 func NewBucket(opts BucketOptions) *bucket.Bucket { return bucket.New(opts) }
+
+// NewBatchSession begins an incremental session of s over the live
+// problem p (p.Txns is ignored; the pushed set takes its place).
+// Schedulers with native incremental engines (Tour, Coloring) patch
+// cached state per Push/Pop; any other scheduler is adapted by re-running
+// its one-shot Schedule per evaluation, with identical results either way.
+func NewBatchSession(s BatchScheduler, p *BatchProblem, opts BatchSessionOptions) BatchSession {
+	return batch.NewSession(s, p, opts)
+}
 
 // TourBatch returns the geometric (MST Euler tour) offline batch scheduler —
 // also the TSP-tour baseline of Zhang et al. that the paper cites.

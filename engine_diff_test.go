@@ -75,6 +75,15 @@ func TestIncrementalMatchesRebuildOracle(t *testing.T) {
 		{"bucket-tour-slow", func(r bool) Scheduler {
 			return NewBucket(BucketOptions{Batch: TourBatch(), Slow: 2, RebuildOracle: r})
 		}, RunOptions{Sim: SimOptions{ElasticExec: true, SlowFactor: 2}}},
+		// The next two spell the oracle through the shared engine-level knob
+		// (EngineOptions.RebuildOracle) instead of the deprecated per-driver
+		// field, pinning the forward to the same byte-identical contract.
+		{"greedy-engineopts", func(r bool) Scheduler {
+			return NewGreedy(GreedyOptions{EngineOptions: EngineOptions{RebuildOracle: r}})
+		}, RunOptions{}},
+		{"bucket-tour-engineopts", func(r bool) Scheduler {
+			return NewBucket(BucketOptions{Batch: TourBatch(), EngineOptions: EngineOptions{RebuildOracle: r}})
+		}, RunOptions{}},
 	}
 	for topoName, g := range diffTopologies(t) {
 		for _, c := range cases {

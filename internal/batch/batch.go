@@ -124,6 +124,19 @@ func floor(p *Problem, tx *core.Transaction) core.Time {
 	return f
 }
 
+// floorChecked is floor with the Validate availability check folded in:
+// the sessions skip the up-front p.Validate() (they never materialize
+// p.Txns) and instead verify each object's entry where it is first read,
+// failing with the same error a one-shot Schedule would produce.
+func floorChecked(p *Problem, tx *core.Transaction) (core.Time, error) {
+	for _, o := range tx.Objects {
+		if _, ok := p.Avail[o]; !ok {
+			return 0, fmt.Errorf("batch: no availability for object %d (transaction %d)", o, tx.ID)
+		}
+	}
+	return floor(p, tx), nil
+}
+
 // components groups the problem's transactions into conflict components
 // (connected components of the share-an-object relation).
 func components(p *Problem) [][]*core.Transaction {

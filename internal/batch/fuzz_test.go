@@ -1,0 +1,111 @@
+package batch
+
+// Fuzzer for the sessionized batch API: a byte-driven sequence of
+// Push / Pop / Reset / set-Now operations is applied to one live session
+// per scheduler, and after every step each session's Cost and Assign must
+// match the one-shot Schedule on the same transaction set in push order —
+// including error/no-error agreement and error text. This is the
+// adversarial complement of the root engine differential test: the bucket
+// engines only ever probe monotone per-level prefixes, while the fuzzer
+// drives arbitrary interleavings of insertion, retraction, drain, and
+// clock movement against the rollback union-find, the posting-list
+// truncation, and the tour memo.
+
+import (
+	"testing"
+
+	"dtm/internal/core"
+	"dtm/internal/graph"
+)
+
+func FuzzBatchIncremental(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 17, 0, 33, 3, 0, 0, 129, 1, 0, 3, 0})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 1, 0, 1, 0, 3, 5, 0, 9, 2, 0, 0, 66, 3, 1})
+	f.Add([]byte{0, 255, 0, 254, 3, 7, 1, 0, 0, 200, 0, 100, 3, 3, 2, 0, 0, 50, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := graph.Line(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Availability for objects 0–3 only; op bytes can still request
+		// objects 4–5, exercising the missing-availability error paths.
+		avail := map[core.ObjID]Avail{
+			0: {Node: 0, Free: 0},
+			1: {Node: 3, Free: 2},
+			2: {Node: 7, Free: 0},
+			3: {Node: 5, Free: 9},
+		}
+		scheds := sessionSchedulers()
+		probs := make([]*Problem, len(scheds))
+		sessions := make([]Session, len(scheds))
+		for i, s := range scheds {
+			probs[i] = &Problem{G: g, Avail: avail}
+			sessions[i] = NewSession(s, probs[i], SessionOptions{})
+		}
+		var pushed []*core.Transaction
+		var nextID core.TxID
+		var now core.Time
+
+		check := func() {
+			for i, s := range scheds {
+				assertSessionMatches(t, s, sessions[i], probs[i], pushed)
+			}
+		}
+		for i := 0; i+1 < len(data) && nextID < 48; i += 2 {
+			op, arg := data[i]%5, data[i+1]
+			switch op {
+			case 0: // push a transaction derived from arg
+				// Object lists must be sorted and duplicate-free — the
+				// core.Transaction invariant Instance.Validate enforces and
+				// Conflicts' merge scan relies on.
+				objs := []core.ObjID{core.ObjID(arg % 6)}
+				if o2 := core.ObjID((arg / 8) % 6); arg&64 != 0 && o2 != objs[0] {
+					objs = append(objs, o2)
+					if objs[0] > objs[1] {
+						objs[0], objs[1] = objs[1], objs[0]
+					}
+				}
+				tx := &core.Transaction{
+					ID:      nextID,
+					Node:    graph.NodeID(arg % 8),
+					Arrival: core.Time(arg % 4),
+					Objects: objs,
+				}
+				nextID++
+				pushed = append(pushed, tx)
+				for _, sess := range sessions {
+					sess.Push(tx)
+				}
+			case 1: // pop
+				if len(pushed) > 0 {
+					pushed = pushed[:len(pushed)-1]
+				}
+				for _, sess := range sessions {
+					sess.Pop()
+				}
+			case 2: // reset (drain, as activation does)
+				pushed = pushed[:0]
+				for _, sess := range sessions {
+					sess.Reset()
+				}
+			case 3: // move the clock and evaluate
+				now += core.Time(arg % 5)
+				for _, p := range probs {
+					p.Now = now
+				}
+				check()
+			case 4: // overwrite an availability entry, as a window refresh does
+				avail[core.ObjID(arg%4)] = Avail{
+					Node: graph.NodeID((arg / 4) % 8),
+					Free: now + core.Time(arg%7),
+				}
+				for _, sess := range sessions {
+					sess.InvalidateAvail()
+				}
+				check()
+			}
+		}
+		check()
+	})
+}

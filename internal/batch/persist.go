@@ -1,0 +1,831 @@
+package batch
+
+// Persistent per-session state for the native Tour and Coloring sessions.
+//
+// The guiding invariant: only membership-dependent structure is cached
+// across probes — conflict components (a rollbackable union-find keyed by
+// shared objects) for Tour, the conflict adjacency (object posting lists)
+// for Coloring. Both depend solely on which transactions are in the
+// session and on the immutable graph, so they survive arbitrary changes
+// to the live problem's Now and Avail between probes. Everything derived
+// from Now/Avail — waits, floors, shifts, colors — is recomputed per
+// Cost/Assign into reusable scratch, which keeps the sessions allocation-
+// free on the probe path with nothing to invalidate.
+//
+// Tour's dominant cost, the O(V²) Prim pass over the metric closure, is a
+// pure function of the component's sorted node list (the graph is fixed
+// per run), so it is memoized in a TourCache keyed by the exact encoded
+// list. Consecutive probes of one bucket level differ by one transaction
+// and object availability nodes repeat heavily, so the hit rate on
+// arrival bursts is high; a hit replaces Prim with one map lookup.
+
+import (
+	"fmt"
+	"slices"
+
+	"dtm/internal/coloring"
+	"dtm/internal/core"
+	"dtm/internal/graph"
+	"dtm/internal/obs"
+)
+
+// tourCacheMaxEntries bounds the memo; on overflow the cache is dropped
+// wholesale (entries are pure values, so losing them only costs time).
+const tourCacheMaxEntries = 1 << 14
+
+// TourCache memoizes tourOrder results keyed by the exact sorted node
+// list. Entries are pure functions of the immutable graph, so one cache
+// may be shared by any number of sessions over that graph (it is not safe
+// for concurrent use; share per single-threaded owner only).
+type TourCache struct {
+	g       *graph.Graph
+	entries map[string]tourEntry
+	key     []byte
+	hits    *obs.Counter // batch.tour_cache_hits
+	misses  *obs.Counter // batch.tour_cache_misses
+}
+
+type tourEntry struct {
+	order  []graph.NodeID
+	prefix []core.Time
+	edges  []mstEdge
+}
+
+// NewTourCache returns an empty tour-order memo for g; m registers the
+// hit/miss counters (nil disables them).
+func NewTourCache(g *graph.Graph, m *obs.Metrics) *TourCache {
+	return &TourCache{
+		g:       g,
+		entries: make(map[string]tourEntry),
+		hits:    m.Counter(obs.NameBatchTourCacheHits),
+		misses:  m.Counter(obs.NameBatchTourCacheMisses),
+	}
+}
+
+// get returns the memoized (or freshly computed) tour order, prefix
+// distances, and canonical MST edges for the given sorted node list.
+// Callers must not mutate the returned slices.
+func (c *TourCache) get(nodes []graph.NodeID) ([]graph.NodeID, []core.Time, []mstEdge) {
+	key := c.key[:0]
+	for _, v := range nodes {
+		u := uint32(v)
+		key = append(key, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	c.key = key
+	if e, ok := c.entries[string(key)]; ok {
+		c.hits.Inc()
+		return e.order, e.prefix, e.edges
+	}
+	c.misses.Inc()
+	// Clone: tourOrder returns its argument verbatim for single-node lists,
+	// and the entry must not alias the caller's scratch.
+	order, prefix, edges := tourOrder(c.g, append([]graph.NodeID(nil), nodes...))
+	if len(c.entries) >= tourCacheMaxEntries {
+		clear(c.entries)
+	}
+	c.entries[string(key)] = tourEntry{order: order, prefix: prefix, edges: edges}
+	return order, prefix, edges
+}
+
+// rollbackUF is a union-find with union by size, no path compression, and
+// an undo trail, so the tentative unions of a probe Push can be retracted
+// exactly by Pop.
+type rollbackUF struct {
+	parent []int32
+	size   []int32
+	trail  []int32 // attached roots, in union order
+}
+
+func (u *rollbackUF) add() {
+	n := int32(len(u.parent))
+	u.parent = append(u.parent, n)
+	u.size = append(u.size, 1)
+}
+
+func (u *rollbackUF) find(x int32) int32 {
+	for u.parent[x] != x {
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *rollbackUF) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.trail = append(u.trail, rb)
+}
+
+// rollback undoes unions until the trail is mark entries long. Undo is
+// LIFO-safe: once a root is attached it stops being a root, so later
+// unions never relink or resize it — its recorded parent and subtree size
+// are still current when unwound.
+func (u *rollbackUF) rollback(mark int) {
+	for len(u.trail) > mark {
+		rb := u.trail[len(u.trail)-1]
+		u.trail = u.trail[:len(u.trail)-1]
+		u.size[u.parent[rb]] -= u.size[rb]
+		u.parent[rb] = rb
+	}
+}
+
+// drop removes the most recently added (and already rolled-back) element.
+func (u *rollbackUF) drop() {
+	n := len(u.parent) - 1
+	u.parent = u.parent[:n]
+	u.size = u.size[:n]
+}
+
+func (u *rollbackUF) reset() {
+	u.parent = u.parent[:0]
+	u.size = u.size[:0]
+	u.trail = u.trail[:0]
+}
+
+// mergeMaxNew bounds the number of fresh nodes an incremental MST merge
+// will absorb; larger merges (rare: a new transaction bridging several big
+// components) fall back to one fresh canonical Prim at evaluation time.
+const mergeMaxNew = 24
+
+// compTour is the persistent tour state of one conflict component: its
+// sorted node set and the canonical MST over the metric closure of those
+// nodes. It is immutable once built (Pop can therefore restore a previous
+// state by pointer), except for the lazily attached preorder and the
+// memoized makespan, both pure functions of the immutable part plus —
+// for cmax — the Now it was evaluated at.
+type compTour struct {
+	gen   int64          // avail-window generation this state was built in
+	nodes []graph.NodeID // sorted component node set
+	edges []mstEdge      // canonical MST, sorted by edgeTupleCmp
+
+	order  []graph.NodeID // lazily computed preorder of (nodes, edges)
+	prefix []core.Time
+
+	cmaxSet bool
+	cmaxNow core.Time // the p.Now cmax was computed at
+	cmax    core.Time
+}
+
+// stateRestore undoes one Push's write to tourSession.states.
+type stateRestore struct {
+	root int32
+	prev *compTour
+	had  bool
+}
+
+// NewSession implements SessionScheduler: conflict components are
+// maintained incrementally by the union-find under Push/Pop (replacing
+// the per-probe components() rebuild), and each component's canonical MST
+// is maintained incrementally across pushes — a push merges the
+// constituent components' trees plus the star edges of the few new nodes
+// with a small Kruskal pass instead of re-running Prim over the whole
+// component. Fresh tours (first touch of a component per avail window, or
+// oversized merges) come from the TourCache.
+func (t Tour) NewSession(p *Problem, opts SessionOptions) Session {
+	met := newSessionMetrics(opts.Obs)
+	met.sessions.Inc()
+	tours := opts.Tours
+	if tours == nil {
+		tours = NewTourCache(p.G, opts.Obs)
+	}
+	return &tourSession{
+		p:         p,
+		met:       met,
+		tours:     tours,
+		firstUser: make(map[core.ObjID]int32),
+		states:    make(map[int32]*compTour),
+	}
+}
+
+type tourSession struct {
+	p     *Problem
+	met   sessionMetrics
+	tours *TourCache
+
+	// Membership state, patched by Push/Pop.
+	txns      []*core.Transaction
+	uf        rollbackUF
+	firstUser map[core.ObjID]int32 // object -> first pushed user's index
+	marks     []int32              // uf trail length before each push
+
+	// Incremental tour state: per-root canonical MSTs, valid while their
+	// generation matches winGen (bumped by InvalidateAvail — availability
+	// nodes are part of the node set, so the states cannot outlive the
+	// avail entries they were derived from). restore holds one entry per
+	// push: the previous states value under the merged root.
+	states  map[int32]*compTour
+	restore []stateRestore
+	winGen  int64
+
+	// Push/merge scratch.
+	peers   []int32
+	mnodes  []graph.NodeID
+	inNew   []bool
+	cand    []mstEdge
+	kparent []int32 // small union-find over merge node indices
+
+	// Per-evaluation scratch, reused across Cost/Assign calls.
+	rootOf   []int32
+	roots    []int32
+	rootSeen []int64
+	rootGen  int64
+	comp     []*core.Transaction
+	nodes    []graph.NodeID
+	nodeGen  []int64
+	nodeIdx  []int32
+	nodePos  []core.Time
+	gen      int64
+	psc      preorderScratch
+}
+
+// InvalidateAvail implements Session: availability entries may have been
+// replaced, so every cached per-component tour state is now stale. States
+// are dropped lazily (generation check) rather than eagerly, keeping this
+// O(1); the next evaluation re-derives each component from the TourCache.
+func (s *tourSession) InvalidateAvail() { s.winGen++ }
+
+func (s *tourSession) Push(tx *core.Transaction) {
+	s.met.pushes.Inc()
+	i := int32(len(s.txns))
+	s.txns = append(s.txns, tx)
+	s.marks = append(s.marks, int32(len(s.uf.trail)))
+	s.uf.add()
+	peers := s.peers[:0]
+	for _, o := range tx.Objects {
+		if j, ok := s.firstUser[o]; ok {
+			r := s.uf.find(j)
+			if !slices.Contains(peers, r) {
+				peers = append(peers, r)
+			}
+			s.uf.union(i, j)
+		} else {
+			s.firstUser[o] = i
+		}
+	}
+	s.peers = peers
+	// Maintain the merged component's tour state. Exactly one states entry
+	// is (over)written per push — the new root's — and logged for Pop;
+	// entries left under the old roots are dead while merged but become
+	// current again when a Pop rolls the union-find back.
+	newRoot := s.uf.find(i)
+	prev, had := s.states[newRoot]
+	s.restore = append(s.restore, stateRestore{root: newRoot, prev: prev, had: had})
+	if st := s.mergeStates(tx, peers); st != nil {
+		s.states[newRoot] = st
+	} else {
+		delete(s.states, newRoot)
+	}
+}
+
+// mergeStates builds the merged component's tour state from the states of
+// the components tx bridges, or returns nil when it cannot (a constituent
+// state is missing or stale, an availability entry is absent at push time,
+// or the merge brings in too many new nodes) — the next evaluation then
+// computes a fresh canonical tour and re-seeds the state.
+//
+// Correctness: the canonical MST is the unique minimum spanning tree under
+// the strict total edge order (W, A, B). Let U be the union node set and L
+// the largest constituent's node set. By the cycle property, every
+// canonical-MST edge of U with both endpoints in L is also a canonical-MST
+// edge of L, and every other MST edge touches a node of N = U \ L. So
+// Kruskal over T(L) ∪ Star_U(N) — the largest constituent's tree plus all
+// metric edges incident to the new nodes — rebuilds exactly the canonical
+// MST of U. The other constituents contribute only their node sets (their
+// members are in N), so components can merge without their trees.
+func (s *tourSession) mergeStates(tx *core.Transaction, peers []int32) *compTour {
+	var big *compTour
+	for _, r := range peers {
+		st := s.states[r]
+		if st == nil || st.gen != s.winGen {
+			return nil
+		}
+		if big == nil || len(st.nodes) > len(big.nodes) {
+			big = st
+		}
+	}
+	// Union node set, dedup via generation stamps.
+	s.ensureNodeScratch()
+	s.gen++
+	gen := s.gen
+	mn := s.mnodes[:0]
+	addNode := func(v graph.NodeID) {
+		if s.nodeGen[v] != gen {
+			s.nodeGen[v] = gen
+			mn = append(mn, v)
+		}
+	}
+	for _, r := range peers {
+		for _, v := range s.states[r].nodes {
+			addNode(v)
+		}
+	}
+	addNode(tx.Node)
+	for _, o := range tx.Objects {
+		a, ok := s.p.Avail[o]
+		if !ok {
+			s.mnodes = mn
+			return nil // node set unknowable; evaluation will report the error
+		}
+		addNode(a.Node)
+	}
+	s.mnodes = mn
+	slices.Sort(mn)
+	if big != nil && len(mn) == len(big.nodes) {
+		// No nodes beyond the largest constituent's (components may share
+		// physical nodes): the canonical MST is unchanged. compTour is
+		// immutable, so aliasing big's slices is safe.
+		return &compTour{gen: s.winGen, nodes: big.nodes, edges: big.edges,
+			order: big.order, prefix: big.prefix}
+	}
+	nBig := 0
+	var bigEdges []mstEdge
+	if big != nil {
+		nBig = len(big.nodes)
+		bigEdges = big.edges
+	}
+	if len(mn)-nBig > mergeMaxNew {
+		return nil
+	}
+	// Index map and membership of N (mn minus big.nodes, both sorted).
+	if cap(s.inNew) < len(mn) {
+		s.inNew = make([]bool, len(mn))
+	}
+	inNew := s.inNew[:len(mn)]
+	bi := 0
+	for idx, v := range mn {
+		s.nodeIdx[v] = int32(idx)
+		if big != nil && bi < len(big.nodes) && big.nodes[bi] == v {
+			inNew[idx] = false
+			bi++
+		} else {
+			inNew[idx] = true
+		}
+	}
+	// Candidates: T(L) plus the star of every new node into the union.
+	// L-internal pairs never appear as star edges and N-N pairs are emitted
+	// once, so the candidate list is duplicate-free.
+	cand := s.cand[:0]
+	cand = append(cand, bigEdges...)
+	for idx, v := range mn {
+		if !inNew[idx] {
+			continue
+		}
+		for jdx, u := range mn {
+			if jdx == idx || (inNew[jdx] && jdx < idx) {
+				continue
+			}
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			cand = append(cand, mstEdge{A: a, B: b, W: s.p.G.Dist(a, b)})
+		}
+	}
+	s.cand = cand
+	slices.SortFunc(cand, edgeTupleCmp)
+	// Kruskal in canonical order over the merge indices.
+	if cap(s.kparent) < len(mn) {
+		s.kparent = make([]int32, len(mn))
+	}
+	parent := s.kparent[:len(mn)]
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	edges := make([]mstEdge, 0, len(mn)-1)
+	for _, e := range cand {
+		ra, rb := find(s.nodeIdx[e.A]), find(s.nodeIdx[e.B])
+		if ra == rb {
+			continue
+		}
+		parent[ra] = rb
+		edges = append(edges, e)
+		if len(edges) == len(mn)-1 {
+			break
+		}
+	}
+	return &compTour{
+		gen:   s.winGen,
+		nodes: append([]graph.NodeID(nil), mn...),
+		edges: edges,
+	}
+}
+
+// ensureNodeScratch sizes the per-NodeID stamp arrays to the graph.
+func (s *tourSession) ensureNodeScratch() {
+	if need := s.p.G.N(); len(s.nodeGen) < need {
+		s.nodeGen = make([]int64, need)
+		s.nodeIdx = make([]int32, need)
+		s.nodePos = make([]core.Time, need)
+	}
+}
+
+func (s *tourSession) Pop() {
+	n := len(s.txns)
+	if n == 0 {
+		return
+	}
+	last := int32(n - 1)
+	tx := s.txns[last]
+	for _, o := range tx.Objects {
+		// The entry points at last exactly when this push created it.
+		if s.firstUser[o] == last {
+			delete(s.firstUser, o)
+		}
+	}
+	s.uf.rollback(int(s.marks[last]))
+	s.uf.drop()
+	s.marks = s.marks[:last]
+	// Restore the states entry the push overwrote. An evaluation between
+	// the push and this pop may have re-seeded other roots' states — those
+	// components' membership is untouched by this pop, so they stay valid.
+	r := s.restore[last]
+	s.restore = s.restore[:last]
+	if r.had {
+		s.states[r.root] = r.prev
+	} else {
+		delete(s.states, r.root)
+	}
+	s.txns[last] = nil
+	s.txns = s.txns[:last]
+}
+
+func (s *tourSession) Len() int { return len(s.txns) }
+
+func (s *tourSession) Cost() (core.Time, error) { return s.schedule(nil) }
+
+func (s *tourSession) Assign() (Assignment, error) {
+	out := make(Assignment, len(s.txns))
+	if _, err := s.schedule(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *tourSession) Reset() {
+	for i := range s.txns {
+		s.txns[i] = nil
+	}
+	s.txns = s.txns[:0]
+	s.marks = s.marks[:0]
+	s.uf.reset()
+	clear(s.firstUser)
+	clear(s.states)
+	s.restore = s.restore[:0]
+	for i := range s.comp {
+		s.comp[i] = nil
+	}
+	s.comp = s.comp[:0]
+}
+
+// schedule evaluates the current set against the live problem: group the
+// transactions by union-find root, schedule each component, and return the
+// makespan relative to p.Now (writing execution times into out when
+// non-nil). The result is byte-identical to Tour.Schedule on the same set:
+// the assignment depends only on the component partition and each
+// component's node set, not on enumeration order.
+func (s *tourSession) schedule(out Assignment) (core.Time, error) {
+	s.met.costs.Inc()
+	n := len(s.txns)
+	// Validate availability upfront in push order, mirroring Problem.Validate
+	// so a malformed probe reports the same first offender as the one-shot
+	// path would (components are visited in root order, not push order).
+	for _, tx := range s.txns {
+		for _, o := range tx.Objects {
+			if _, ok := s.p.Avail[o]; !ok {
+				return 0, fmt.Errorf("batch: no availability for object %d (transaction %d)", o, tx.ID)
+			}
+		}
+	}
+	rootOf := s.rootOf
+	if cap(rootOf) < n {
+		rootOf = make([]int32, n)
+		s.rootSeen = make([]int64, cap(rootOf))
+	}
+	rootOf = rootOf[:n]
+	rootSeen := s.rootSeen[:cap(rootOf)]
+	s.rootGen++
+	rg := s.rootGen
+	roots := s.roots[:0]
+	for i := 0; i < n; i++ {
+		r := s.uf.find(int32(i))
+		rootOf[i] = r
+		if rootSeen[r] != rg {
+			rootSeen[r] = rg
+			roots = append(roots, r)
+		}
+	}
+	s.rootOf, s.roots = rootOf, roots
+	var max core.Time
+	for _, r := range roots {
+		// Cost of an untouched component: reuse its memoized makespan —
+		// membership, the avail window, and Now all match, so re-deriving
+		// it would retrace identical arithmetic. Assign still needs the
+		// per-transaction times and walks every component.
+		if out == nil {
+			if st := s.states[r]; st != nil && st.gen == s.winGen &&
+				st.cmaxSet && st.cmaxNow == s.p.Now {
+				if d := st.cmax - s.p.Now; d > max {
+					max = d
+				}
+				continue
+			}
+		}
+		comp := s.comp[:0]
+		for i := 0; i < n; i++ {
+			if rootOf[i] == r {
+				comp = append(comp, s.txns[i])
+			}
+		}
+		s.comp = comp
+		cmax := s.component(r, comp, out)
+		if d := cmax - s.p.Now; d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// component mirrors scheduleComponent (tour.go) with the tour taken from
+// the component's persistent state when current — the preorder of the
+// incrementally maintained canonical MST — and from the TourCache
+// otherwise (re-seeding the state); then it applies the same start/shift
+// arithmetic and memoizes the resulting makespan on the state.
+func (s *tourSession) component(r int32, comp []*core.Transaction, out Assignment) core.Time {
+	p := s.p
+	s.ensureNodeScratch()
+	var order []graph.NodeID
+	var prefix []core.Time
+	var wait core.Time
+	st := s.states[r]
+	if st != nil && st.gen == s.winGen {
+		for _, tx := range comp {
+			for _, o := range tx.Objects {
+				// Present: schedule validated the set upfront.
+				if w := p.Avail[o].Free - p.Now; w > wait {
+					wait = w
+				}
+			}
+		}
+		if st.order == nil && len(st.nodes) > 0 {
+			st.order, st.prefix = s.psc.preorder(p.G, st.nodes, st.edges,
+				make([]graph.NodeID, 0, len(st.nodes)), make([]core.Time, 0, len(st.nodes)))
+		}
+		order, prefix = st.order, st.prefix
+	} else {
+		s.gen++
+		gen := s.gen
+		nodes := s.nodes[:0]
+		addNode := func(v graph.NodeID) {
+			if s.nodeGen[v] != gen {
+				s.nodeGen[v] = gen
+				nodes = append(nodes, v)
+			}
+		}
+		for _, tx := range comp {
+			addNode(tx.Node)
+			for _, o := range tx.Objects {
+				a := p.Avail[o] // present: schedule validated the set upfront
+				addNode(a.Node)
+				if w := a.Free - p.Now; w > wait {
+					wait = w
+				}
+			}
+		}
+		s.nodes = nodes
+		slices.Sort(nodes)
+		var edges []mstEdge
+		order, prefix, edges = s.tours.get(nodes)
+		st = &compTour{
+			gen:   s.winGen,
+			nodes: append([]graph.NodeID(nil), nodes...),
+			edges: edges,
+			order: order, prefix: prefix,
+		}
+		s.states[r] = st
+	}
+	slow := core.Time(p.slow())
+	// Every node of the component appears in order, so each relevant
+	// nodePos slot is freshly overwritten — no staleness possible.
+	for i, v := range order {
+		s.nodePos[v] = prefix[i] * slow
+	}
+	tourLen := prefix[len(prefix)-1] * slow
+	start := p.Now + wait + tourLen
+	var shift core.Time
+	for _, tx := range comp {
+		slot := start + s.nodePos[tx.Node]
+		if f := floor(p, tx); f > slot && f-slot > shift {
+			shift = f - slot
+		}
+	}
+	var cmax core.Time
+	for _, tx := range comp {
+		t := start + shift + s.nodePos[tx.Node]
+		if out != nil {
+			out[tx.ID] = t
+		}
+		if t > cmax {
+			cmax = t
+		}
+	}
+	st.cmaxSet, st.cmaxNow, st.cmax = true, p.Now, cmax
+	return cmax
+}
+
+// NewSession implements SessionScheduler: the conflict adjacency (object
+// posting lists plus weighted edges) persists across probes; Pop truncates
+// the trailing entries its Push appended. Colors are re-swept per
+// evaluation with the shared coloring.SmallestValid, over floors read from
+// the live problem.
+func (c Coloring) NewSession(p *Problem, opts SessionOptions) Session {
+	met := newSessionMetrics(opts.Obs)
+	met.sessions.Inc()
+	return &coloringSession{p: p, met: met, objMembers: make(map[core.ObjID][]int32)}
+}
+
+type cEdge struct {
+	to int32
+	w  graph.Weight
+}
+
+type coloringSession struct {
+	p   *Problem
+	met sessionMetrics
+
+	// Membership state, patched by Push/Pop. Invariant: adj slots at
+	// indices >= len(txns) are empty.
+	txns       []*core.Transaction
+	adj        [][]cEdge
+	objMembers map[core.ObjID][]int32
+	seen       []int64 // pair-dedup stamps, one per txn slot
+	gen        int64
+
+	// Per-evaluation scratch, reused across Cost/Assign calls.
+	floors []core.Time
+	order  []int32
+	colors []coloring.Color
+	forb   []coloring.Interval
+}
+
+func (s *coloringSession) Push(tx *core.Transaction) {
+	s.met.pushes.Inc()
+	i := int32(len(s.txns))
+	s.txns = append(s.txns, tx)
+	if int(i) == len(s.adj) {
+		s.adj = append(s.adj, nil)
+		s.seen = append(s.seen, 0)
+	}
+	s.gen++
+	gen := s.gen
+	s.seen[i] = gen
+	slow := s.p.slow()
+	for _, o := range tx.Objects {
+		for _, j := range s.objMembers[o] {
+			if s.seen[j] == gen {
+				continue // pair already handled via an earlier shared object
+			}
+			s.seen[j] = gen
+			// Weight-0 edges impose no constraint; dropped like AddEdge does.
+			if w := s.p.G.Dist(tx.Node, s.txns[j].Node) * slow; w > 0 {
+				s.adj[i] = append(s.adj[i], cEdge{to: j, w: w})
+				s.adj[j] = append(s.adj[j], cEdge{to: i, w: w})
+			}
+		}
+		s.objMembers[o] = append(s.objMembers[o], i)
+	}
+}
+
+func (s *coloringSession) Pop() {
+	n := len(s.txns)
+	if n == 0 {
+		return
+	}
+	last := int32(n - 1)
+	tx := s.txns[last]
+	for _, o := range tx.Objects {
+		lst := s.objMembers[o]
+		s.objMembers[o] = lst[:len(lst)-1]
+	}
+	// Nothing was pushed after last, so each peer list's tail entry is
+	// exactly the edge this push appended.
+	for _, e := range s.adj[last] {
+		peer := s.adj[e.to]
+		s.adj[e.to] = peer[:len(peer)-1]
+	}
+	s.adj[last] = s.adj[last][:0]
+	s.txns[last] = nil
+	s.txns = s.txns[:last]
+}
+
+func (s *coloringSession) Len() int { return len(s.txns) }
+
+// InvalidateAvail implements Session: the persistent adjacency depends
+// only on transaction nodes and the immutable graph, never on Avail, and
+// floors are recomputed per evaluation — nothing to drop.
+func (s *coloringSession) InvalidateAvail() {}
+
+func (s *coloringSession) Cost() (core.Time, error) { return s.schedule(nil) }
+
+func (s *coloringSession) Assign() (Assignment, error) {
+	out := make(Assignment, len(s.txns))
+	if _, err := s.schedule(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *coloringSession) Reset() {
+	for i := range s.txns {
+		s.txns[i] = nil
+	}
+	s.txns = s.txns[:0]
+	for i := range s.adj {
+		s.adj[i] = s.adj[i][:0]
+	}
+	// Keep the posting lists' capacity; the same objects recur per level.
+	for o, lst := range s.objMembers {
+		s.objMembers[o] = lst[:0]
+	}
+}
+
+// schedule re-runs the floor-ordered greedy sweep over the persistent
+// adjacency. Byte-identical to Coloring.Schedule: the anchor vertex of
+// transaction i contributes exactly the Forbid(0, floor-Now) interval, a
+// conflict neighbor contributes iff it was colored earlier in the same
+// (floor, ID) order, and SmallestValid is order-insensitive over the
+// interval set.
+func (s *coloringSession) schedule(out Assignment) (core.Time, error) {
+	s.met.costs.Inc()
+	p := s.p
+	n := len(s.txns)
+	floors := s.floors[:0]
+	for _, tx := range s.txns {
+		f, err := floorChecked(p, tx)
+		if err != nil {
+			return 0, err
+		}
+		floors = append(floors, f)
+	}
+	s.floors = floors
+	order := s.order[:0]
+	for i := 0; i < n; i++ {
+		order = append(order, int32(i))
+	}
+	s.order = order
+	slices.SortFunc(order, func(a, b int32) int {
+		if floors[a] != floors[b] {
+			if floors[a] < floors[b] {
+				return -1
+			}
+			return 1
+		}
+		if s.txns[a].ID != s.txns[b].ID {
+			if s.txns[a].ID < s.txns[b].ID {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	colors := s.colors[:0]
+	for i := 0; i < n; i++ {
+		colors = append(colors, coloring.Uncolored)
+	}
+	s.colors = colors
+	var max core.Time
+	for _, i := range order {
+		forb := s.forb[:0]
+		if f := floors[i] - p.Now; f > 0 {
+			forb = append(forb, coloring.Forbid(0, graph.Weight(f)))
+		}
+		for _, e := range s.adj[i] {
+			if cu := colors[e.to]; cu != coloring.Uncolored {
+				forb = append(forb, coloring.Forbid(cu, e.w))
+			}
+		}
+		s.forb = forb[:0] // keep the (possibly grown) buffer
+		c := coloring.SmallestValid(forb)
+		colors[i] = c
+		t := p.Now + core.Time(c)
+		if out != nil {
+			out[s.txns[i].ID] = t
+		}
+		if d := t - p.Now; d > max {
+			max = d
+		}
+	}
+	return max, nil
+}

@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"slices"
 	"sort"
 
 	"dtm/internal/core"
@@ -60,7 +61,7 @@ func scheduleComponent(p *Problem, comp []*core.Transaction, out Assignment) {
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 
-	order, prefix := tourOrder(p.G, nodes)
+	order, prefix, _ := tourOrder(p.G, nodes)
 	pos := make(map[graph.NodeID]core.Time, len(order))
 	slow := core.Time(p.slow())
 	for i, v := range order {
@@ -83,65 +84,207 @@ func scheduleComponent(p *Problem, comp []*core.Transaction, out Assignment) {
 	}
 }
 
+// mstEdge is an edge of the canonical metric-closure MST, with endpoints
+// ordered A < B.
+type mstEdge struct {
+	A, B graph.NodeID
+	W    graph.Weight
+}
+
+// edgeTupleCmp orders edges by the canonical total order (W, A, B). All
+// tuples over a node set are distinct, so the order is strict and the
+// minimum spanning tree under it is unique — any correct algorithm
+// (Prim here, Kruskal in the session's incremental merge) produces the
+// same edge set.
+func edgeTupleCmp(x, y mstEdge) int {
+	switch {
+	case x.W != y.W:
+		if x.W < y.W {
+			return -1
+		}
+		return 1
+	case x.A != y.A:
+		if x.A < y.A {
+			return -1
+		}
+		return 1
+	case x.B != y.B:
+		if x.B < y.B {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // tourOrder computes a deterministic MST-preorder of the given nodes in the
-// metric closure of g and the cumulative distances along that order.
-// The shortcut tour's total length is at most twice the MST weight.
-func tourOrder(g *graph.Graph, nodes []graph.NodeID) ([]graph.NodeID, []core.Time) {
+// metric closure of g, the cumulative distances along that order, and the
+// canonical MST's edge set (sorted by edgeTupleCmp; callers that only need
+// the order ignore it). The shortcut tour's total length is at most twice
+// the MST weight. nodes must be sorted ascending.
+func tourOrder(g *graph.Graph, nodes []graph.NodeID) ([]graph.NodeID, []core.Time, []mstEdge) {
 	n := len(nodes)
 	if n == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if n == 1 {
-		return nodes, []core.Time{0}
+		return nodes, []core.Time{0}, nil
 	}
-	// Prim's algorithm with parent tracking on the metric closure.
+	edges := canonicalMST(g, nodes)
+	var sc preorderScratch
+	order, prefix := sc.preorder(g, nodes, edges,
+		make([]graph.NodeID, 0, n), make([]core.Time, 0, n))
+	return order, prefix, edges
+}
+
+// canonicalMST runs Prim on the metric closure with full (W, A, B) tuple
+// tie-breaking, so the returned tree is the unique MST under the canonical
+// edge order regardless of the order nodes were added in. nodes must be
+// sorted ascending (so a smaller index is a smaller NodeID).
+func canonicalMST(g *graph.Graph, nodes []graph.NodeID) []mstEdge {
+	n := len(nodes)
 	const inf = graph.Infinite
 	best := make([]graph.Weight, n)
-	parent := make([]int, n)
+	from := make([]int, n) // tree-side endpoint index of the candidate edge
 	inTree := make([]bool, n)
 	for i := range best {
 		best[i] = inf
-		parent[i] = -1
+		from[i] = -1
 	}
 	best[0] = 0
+	// less compares the candidate edges of two non-tree indices under the
+	// canonical tuple order.
+	less := func(i, j int) bool {
+		if best[i] != best[j] {
+			return best[i] < best[j]
+		}
+		ai, bi := i, from[i]
+		if ai > bi {
+			ai, bi = bi, ai
+		}
+		aj, bj := j, from[j]
+		if aj > bj {
+			aj, bj = bj, aj
+		}
+		if ai != aj {
+			return ai < aj
+		}
+		return bi < bj
+	}
+	edges := make([]mstEdge, 0, n-1)
 	for range nodes {
 		sel := -1
 		for i := range nodes {
-			if !inTree[i] && (sel == -1 || best[i] < best[sel]) {
+			if inTree[i] || best[i] == inf {
+				continue
+			}
+			if sel == -1 || less(i, sel) {
 				sel = i
 			}
 		}
+		if sel == -1 {
+			// Disconnected metric closure: start a new tree at the smallest
+			// remaining index (deterministic; connected graphs never hit this).
+			for i := range nodes {
+				if !inTree[i] {
+					sel = i
+					from[sel] = -1
+					break
+				}
+			}
+		}
 		inTree[sel] = true
+		if f := from[sel]; f >= 0 {
+			a, b := nodes[f], nodes[sel]
+			if a > b {
+				a, b = b, a
+			}
+			edges = append(edges, mstEdge{A: a, B: b, W: best[sel]})
+		}
 		for i := range nodes {
-			if !inTree[i] {
-				if d := g.Dist(nodes[sel], nodes[i]); d < best[i] {
-					best[i] = d
-					parent[i] = sel
+			if inTree[i] {
+				continue
+			}
+			d := g.Dist(nodes[sel], nodes[i])
+			// On a weight tie the candidate with the smaller other-endpoint
+			// index wins; with i fixed that is exactly the tuple order.
+			if d < best[i] || (d == best[i] && d != inf && sel < from[i]) {
+				best[i] = d
+				from[i] = sel
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edgeTupleCmp(edges[i], edges[j]) < 0 })
+	return edges
+}
+
+// preorderScratch holds the reusable buffers of preorder, so per-probe
+// session evaluations stay allocation-free.
+type preorderScratch struct {
+	adj     [][]int32
+	stack   []int32
+	visited []bool
+}
+
+// preorder computes the rooted preorder of the tree (nodes, edges) and the
+// cumulative metric distances along it, appending into order/prefix (whose
+// capacity is reused). The root is nodes[0] and children are visited in
+// ascending node order, so the result depends only on the edge set and the
+// sorted node list — the fresh Prim path and the session's incrementally
+// merged state path produce byte-identical tours.
+func (sc *preorderScratch) preorder(g *graph.Graph, nodes []graph.NodeID, edges []mstEdge,
+	order []graph.NodeID, prefix []core.Time) ([]graph.NodeID, []core.Time) {
+	n := len(nodes)
+	order, prefix = order[:0], prefix[:0]
+	if n == 0 {
+		return order, prefix
+	}
+	for len(sc.adj) < n {
+		sc.adj = append(sc.adj, nil)
+	}
+	adj := sc.adj[:n]
+	for i := range adj {
+		adj[i] = adj[i][:0]
+	}
+	for _, e := range edges {
+		ia, _ := sort.Find(n, func(i int) int { return int(e.A - nodes[i]) })
+		ib, _ := sort.Find(n, func(i int) int { return int(e.B - nodes[i]) })
+		adj[ia] = append(adj[ia], int32(ib))
+		adj[ib] = append(adj[ib], int32(ia))
+	}
+	for i := range adj {
+		slices.Sort(adj[i])
+	}
+	if cap(sc.visited) < n {
+		sc.visited = make([]bool, n)
+	}
+	visited := sc.visited[:n]
+	for i := range visited {
+		visited[i] = false
+	}
+	stack := sc.stack[:0]
+	for r := 0; r < n; r++ { // r > 0 only for a disconnected metric closure
+		if visited[r] {
+			continue
+		}
+		visited[r] = true
+		stack = append(stack, int32(r))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, nodes[v])
+			for i := len(adj[v]) - 1; i >= 0; i-- {
+				if w := adj[v][i]; !visited[w] {
+					visited[w] = true
+					stack = append(stack, w)
 				}
 			}
 		}
 	}
-	children := make([][]int, n)
+	sc.stack = stack[:0]
+	prefix = append(prefix, 0)
 	for i := 1; i < n; i++ {
-		children[parent[i]] = append(children[parent[i]], i)
-	}
-	for i := range children {
-		sort.Ints(children[i])
-	}
-	// Iterative preorder DFS from node index 0.
-	order := make([]graph.NodeID, 0, n)
-	stack := []int{0}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		order = append(order, nodes[v])
-		for i := len(children[v]) - 1; i >= 0; i-- {
-			stack = append(stack, children[v][i])
-		}
-	}
-	prefix := make([]core.Time, n)
-	for i := 1; i < n; i++ {
-		prefix[i] = prefix[i-1] + core.Time(g.Dist(order[i-1], order[i]))
+		prefix = append(prefix, prefix[i-1]+core.Time(g.Dist(order[i-1], order[i])))
 	}
 	return order, prefix
 }

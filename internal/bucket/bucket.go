@@ -42,12 +42,25 @@ type Options struct {
 	Slow int
 	// RebuildOracle rebuilds the batch problem (object availability map and
 	// candidate slice) from scratch for every level probe, as the original
-	// implementation did, instead of sharing one problem per arrival. Both
-	// paths produce identical placements — within one OnArrive the
-	// simulation state is frozen, so availability entries cannot change
-	// between probes and every batch scheduler reads the map by key only —
-	// and the root differential test pins that.
+	// implementation did, instead of driving the persistent per-level batch
+	// sessions. Both paths produce identical placements — a session's
+	// Cost/Assign is pinned byte-identical to the one-shot Schedule on the
+	// same candidate set — and the root differential test pins that.
+	//
+	// Deprecated: set the embedded EngineOptions.RebuildOracle instead.
+	// This field remains a forward so existing keyed literals compile;
+	// either spelling (or both) selects the oracle.
 	RebuildOracle bool
+	// EngineOptions is the shared engine-selection knob (see
+	// sched.EngineOptions); it supersedes the deprecated per-package
+	// RebuildOracle field above.
+	sched.EngineOptions
+}
+
+// rebuild reports whether the from-scratch oracle engine is selected,
+// honoring both the deprecated field and the embedded shared knob.
+func (o Options) rebuild() bool {
+	return o.RebuildOracle || o.EngineOptions.RebuildOracle
 }
 
 func (o Options) slow() int {
@@ -82,12 +95,16 @@ type Bucket struct {
 	levels [][]pending
 	audit  Audit
 
-	// Incremental probe state (default engine): one availability map and
-	// problem header shared by every level probe of an arrival, plus a
-	// reusable candidate buffer.
-	avail map[core.ObjID]batch.Avail
-	prob  batch.Problem
-	cand  []*core.Transaction
+	// Incremental engine (default): one persistent batch session per
+	// level, holding exactly the level's pending transactions, driven
+	// against a live problem whose Now/Avail the engine refreshes per
+	// arrival and per activation. Tour sessions share one tour-order memo.
+	sessions []batch.Session
+	tours    *batch.TourCache
+	avail    map[core.ObjID]batch.Avail
+	prob     batch.Problem
+	availAt  core.Time       // time the availability entries resolve against
+	resolve  batch.AvailFunc // bound method value, allocated once
 
 	// Instrument handles; nil (free) when observability is disabled.
 	metInserted    *obs.Counter   // bucket.insertions
@@ -137,27 +154,103 @@ func (b *Bucket) Start(env *sched.Env) error {
 	}
 	b.levels = make([][]pending, max+1)
 	b.audit.LevelCounts = make([]int, max+1)
+	b.resolve = b.resolveAvail
+	if !b.opts.rebuild() {
+		b.avail = make(map[core.ObjID]batch.Avail)
+		b.prob = batch.Problem{G: env.G, Avail: b.avail, Slow: graph.Weight(b.opts.slow())}
+		b.tours = batch.NewTourCache(env.G, env.Obs)
+		b.sessions = make([]batch.Session, max+1)
+		for i := range b.sessions {
+			b.sessions[i] = batch.NewSession(b.opts.Batch, &b.prob, batch.SessionOptions{Obs: env.Obs, Tours: b.tours})
+		}
+	}
 	return nil
+}
+
+// refreshProblem points the shared live problem (and the availability
+// resolver) at the current time and invalidates the per-window
+// availability entries — telling every session, since their incremental
+// tour states embed availability nodes from the window being discarded.
+func (b *Bucket) refreshProblem(now core.Time) {
+	b.prob.Now = now
+	b.availAt = now
+	clear(b.avail)
+	for _, s := range b.sessions {
+		s.InvalidateAvail()
+	}
+}
+
+// LiveStats reports the pending-set bookkeeping sizes: transactions
+// waiting in the level buckets, and transaction pointers currently held by
+// the per-level batch sessions (0 under the rebuild oracle). The two must
+// agree after every OnArrive/OnWake; the leak-guard test pins it.
+func (b *Bucket) LiveStats() (pending, sessionHeld int) {
+	for _, lv := range b.levels {
+		pending += len(lv)
+	}
+	for _, s := range b.sessions {
+		sessionHeld += s.Len()
+	}
+	return pending, sessionHeld
 }
 
 // OnArrive implements sched.Scheduler: each new transaction goes into the
 // smallest-level bucket that keeps the batch cost within 2^i.
 //
-// The default engine assembles the batch problem once per arrival: no
-// decision is made and the simulation clock does not move while probing,
-// so the object-availability entries are immutable for the whole call and
-// can be extended lazily as new objects come into play, instead of being
-// recomputed for every (transaction, level) probe.
+// The default engine probes through the persistent per-level sessions:
+// a probe is one Push and one Cost, and a failed probe is retracted with
+// Pop — the level's cached state (conflict components, adjacency, memoized
+// tours) carries over to the next probe instead of being rebuilt. The
+// simulation state is frozen for the whole call, so availability entries
+// are extended lazily and stay valid across every probe of the arrival.
 func (b *Bucket) OnArrive(txns []*core.Transaction) error {
 	now := b.env.Sim.Now()
-	if !b.opts.RebuildOracle {
-		if b.avail == nil {
-			b.avail = make(map[core.ObjID]batch.Avail)
-		} else {
-			clear(b.avail)
-		}
-		b.prob = batch.Problem{G: b.env.G, Now: now, Avail: b.avail, Slow: graph.Weight(b.opts.slow())}
+	if b.opts.rebuild() {
+		return b.arriveRebuild(txns, now)
 	}
+	b.refreshProblem(now)
+	top := len(b.levels) - 1
+	for _, tx := range txns {
+		if b.opts.ForceTopLevel {
+			b.sessions[top].Push(tx)
+			b.insert(top, tx, now)
+			continue
+		}
+		placed := false
+		for i := range b.levels {
+			for _, pd := range b.levels[i] {
+				batch.ExtendAvailTx(b.avail, pd.tx, b.resolve)
+			}
+			batch.ExtendAvailTx(b.avail, tx, b.resolve)
+			sess := b.sessions[i]
+			sess.Push(tx)
+			cost, err := sess.Cost()
+			if err != nil {
+				return fmt.Errorf("bucket: cost probe at level %d: %w", i, err)
+			}
+			if cost <= 1<<uint(i) {
+				b.insert(i, tx, now)
+				placed = true
+				break
+			}
+			sess.Pop()
+		}
+		if !placed {
+			// Outside the theory's preconditions (e.g. overload beyond one
+			// live transaction per node); stay safe in the top bucket.
+			b.sessions[top].Push(tx)
+			b.insert(top, tx, now)
+			b.audit.Overflowed++
+			b.metOverflow.Inc()
+		}
+	}
+	return nil
+}
+
+// arriveRebuild is the oracle engine: the batch problem (availability map
+// and candidate slice) is rebuilt from scratch for every level probe, as
+// the original implementation did.
+func (b *Bucket) arriveRebuild(txns []*core.Transaction, now core.Time) error {
 	for _, tx := range txns {
 		if b.opts.ForceTopLevel {
 			b.insert(len(b.levels)-1, tx, now)
@@ -165,26 +258,12 @@ func (b *Bucket) OnArrive(txns []*core.Transaction) error {
 		}
 		placed := false
 		for i := range b.levels {
-			var p *batch.Problem
-			if b.opts.RebuildOracle {
-				cand := make([]*core.Transaction, 0, len(b.levels[i])+1)
-				for _, pd := range b.levels[i] {
-					cand = append(cand, pd.tx)
-				}
-				cand = append(cand, tx)
-				p = b.problem(cand, now)
-			} else {
-				cand := b.cand[:0]
-				for _, pd := range b.levels[i] {
-					cand = append(cand, pd.tx)
-				}
-				cand = append(cand, tx)
-				b.cand = cand
-				b.extendAvail(cand, now)
-				b.prob.Txns = cand
-				p = &b.prob
+			cand := make([]*core.Transaction, 0, len(b.levels[i])+1)
+			for _, pd := range b.levels[i] {
+				cand = append(cand, pd.tx)
 			}
-			cost, err := batch.Cost(b.opts.Batch, p)
+			cand = append(cand, tx)
+			cost, err := batch.Cost(b.opts.Batch, b.problem(cand, now))
 			if err != nil {
 				return fmt.Errorf("bucket: cost probe at level %d: %w", i, err)
 			}
@@ -195,8 +274,6 @@ func (b *Bucket) OnArrive(txns []*core.Transaction) error {
 			}
 		}
 		if !placed {
-			// Outside the theory's preconditions (e.g. overload beyond one
-			// live transaction per node); stay safe in the top bucket.
 			b.insert(len(b.levels)-1, tx, now)
 			b.audit.Overflowed++
 			b.metOverflow.Inc()
@@ -258,11 +335,25 @@ func (b *Bucket) activate(level int, now core.Time) error {
 	b.levels[level] = nil
 	b.audit.Activations++
 	b.metActivations.Inc()
-	txns := make([]*core.Transaction, len(pds))
-	for i, pd := range pds {
-		txns[i] = pd.tx
+	var asgn batch.Assignment
+	var err error
+	if b.opts.rebuild() {
+		txns := make([]*core.Transaction, len(pds))
+		for i, pd := range pds {
+			txns[i] = pd.tx
+		}
+		asgn, err = b.opts.Batch.Schedule(b.problem(txns, now))
+	} else {
+		// Fresh availability window: lower levels activated in the same
+		// wake have already decided, moving objects.
+		b.refreshProblem(now)
+		for _, pd := range pds {
+			batch.ExtendAvailTx(b.avail, pd.tx, b.resolve)
+		}
+		sess := b.sessions[level]
+		asgn, err = sess.Assign()
+		sess.Reset()
 	}
-	asgn, err := b.opts.Batch.Schedule(b.problem(txns, now))
 	if err != nil {
 		return fmt.Errorf("bucket: activating level %d: %w", level, err)
 	}
@@ -287,52 +378,37 @@ func (b *Bucket) activate(level int, now core.Time) error {
 	return nil
 }
 
-// problem assembles the batch problem for the given transactions at the
-// current time, folding the already-scheduled transactions T^s into object
-// availability (the paper's first basic modification of A).
+// problem assembles a one-shot batch problem for the given transactions at
+// the given time, folding the already-scheduled transactions T^s into
+// object availability (the paper's first basic modification of A). Used by
+// the oracle engine; the session engine shares the same resolver through
+// the live problem instead.
 func (b *Bucket) problem(txns []*core.Transaction, now core.Time) *batch.Problem {
+	b.availAt = now
 	avail := make(map[core.ObjID]batch.Avail)
-	b.fillAvail(avail, txns, now)
+	batch.ExtendAvail(avail, txns, b.resolve)
 	return &batch.Problem{G: b.env.G, Now: now, Txns: txns, Avail: avail, Slow: graph.Weight(b.opts.slow())}
 }
 
-// extendAvail adds availability entries for any objects of txns not yet in
-// the shared per-arrival map. Entries computed by earlier probes of the
-// same arrival stay valid: the clock and the decision log are frozen for
-// the duration of OnArrive.
-func (b *Bucket) extendAvail(txns []*core.Transaction, now core.Time) {
-	b.fillAvail(b.avail, txns, now)
-}
-
-// fillAvail computes the availability (node, free-time) of every object
-// used by txns: the last scheduled user's position once it frees the
-// object, or the object's current/committed position, or its origin if it
-// is yet to be created.
-func (b *Bucket) fillAvail(avail map[core.ObjID]batch.Avail, txns []*core.Transaction, now core.Time) {
+// resolveAvail computes one object's availability (node, free-time) at
+// b.availAt: the last scheduled user's position once it frees the object,
+// or the object's current/committed position, or its origin if it is yet
+// to be created.
+func (b *Bucket) resolveAvail(o core.ObjID) batch.Avail {
 	sim := b.env.Sim
-	in := sim.Instance()
-	for _, tx := range txns {
-		for _, o := range tx.Objects {
-			if _, ok := avail[o]; ok {
-				continue
-			}
-			if lastTx, lastExec, ok := sim.LastUser(o); ok {
-				avail[o] = batch.Avail{Node: in.Txns[lastTx].Node, Free: lastExec}
-				continue
-			}
-			obj := in.Objects[o]
-			if obj.Created > now {
-				avail[o] = batch.Avail{Node: obj.Origin, Free: obj.Created}
-				continue
-			}
-			loc := sim.ObjectLocation(o)
-			if loc.InTransit {
-				avail[o] = batch.Avail{Node: loc.Next, Free: loc.Arrive}
-			} else {
-				avail[o] = batch.Avail{Node: loc.Node, Free: now}
-			}
-		}
+	now := b.availAt
+	if lastTx, lastExec, ok := sim.LastUser(o); ok {
+		return batch.Avail{Node: sim.Instance().Txns[lastTx].Node, Free: lastExec}
 	}
+	obj := sim.Instance().Objects[o]
+	if obj.Created > now {
+		return batch.Avail{Node: obj.Origin, Free: obj.Created}
+	}
+	loc := sim.ObjectLocation(o)
+	if loc.InTransit {
+		return batch.Avail{Node: loc.Next, Free: loc.Arrive}
+	}
+	return batch.Avail{Node: loc.Node, Free: now}
 }
 
 var _ sched.Scheduler = (*Bucket)(nil)

@@ -186,6 +186,7 @@ type config struct {
 	slow     graph.Weight
 	maxLevel int
 	met      protoMetrics
+	obs      *obs.Metrics // registry for the batch-session instruments (nil when disabled)
 
 	// Reliability layer (recovery.go): active only when the network has a
 	// fault plan. With faulty false, every ack/retry/dedup path is skipped
@@ -279,12 +280,22 @@ type node struct {
 	discov map[core.TxID]*discovery
 
 	// leader state: partial buckets keyed per (cluster, level).
-	buckets   map[bucketKey][]pendTx
-	known     map[core.ObjID]batch.Avail // latest availability heard of
-	sess      *session
-	sessSeq   int64
-	due       []bucketKey // activation queue of partial buckets
-	decisions []decision
+	buckets map[bucketKey][]pendTx
+	known   map[core.ObjID]batch.Avail // latest availability heard of
+	// Sessionized probe state: one persistent batch session per partial
+	// bucket (kept in lockstep with buckets: Push on place, Reset when the
+	// bucket drains into a protocol session), one live problem shared by
+	// all of them, and a per-node tour-order memo. Node handlers are
+	// single-threaded, so no locking.
+	probeSess  map[bucketKey]batch.Session
+	probeAvail map[core.ObjID]batch.Avail
+	probeProb  batch.Problem
+	tours      *batch.TourCache
+	resolve    batch.AvailFunc
+	sess       *session
+	sessSeq    int64
+	due        []bucketKey // activation queue of partial buckets
+	decisions  []decision
 	// reported records, per transaction handled by this node's discovery,
 	// which cluster it reported to (for the Lemma 6 audit).
 	reported map[core.TxID]clusterRef
@@ -326,6 +337,11 @@ func newNode(cfg *config, id graph.NodeID) *node {
 		known:    make(map[core.ObjID]batch.Avail),
 		audit:    &Audit{LayerCounts: make(map[int]int)},
 	}
+	n.probeSess = make(map[bucketKey]batch.Session)
+	n.probeAvail = make(map[core.ObjID]batch.Avail)
+	n.probeProb = batch.Problem{G: cfg.g, Avail: n.probeAvail, Slow: cfg.slow}
+	n.tours = batch.NewTourCache(cfg.g, cfg.obs)
+	n.resolve = n.resolveKnown
 	if cfg.faulty {
 		n.sentReports = make(map[core.TxID]reportMsg)
 		n.seenReports = make(map[core.TxID]bool)
@@ -505,15 +521,24 @@ func (n *node) onReport(ctx *distnet.Ctx, m reportMsg) {
 		n.learn(os)
 	}
 	tx := n.cfg.in.Txns[m.Tx]
+	// Probe through the persistent per-bucket sessions: the availability
+	// window (n.known merged via learn above) is frozen for the whole
+	// report, so entries are extended lazily and shared across levels.
+	n.probeProb.Now = ctx.Now()
+	clear(n.probeAvail)
+	for _, s := range n.probeSess {
+		s.InvalidateAvail() // O(1); order-insensitive
+	}
 	placed := -1
 	for i := 0; i <= n.cfg.maxLevel; i++ {
 		key := bucketKey{cluster: m.Cluster, level: i}
-		cand := make([]*core.Transaction, 0, len(n.buckets[key])+1)
 		for _, pd := range n.buckets[key] {
-			cand = append(cand, pd.tx)
+			batch.ExtendAvailTx(n.probeAvail, pd.tx, n.resolve)
 		}
-		cand = append(cand, tx)
-		cost, err := batch.Cost(n.cfg.batch, n.problem(cand, ctx.Now(), nil))
+		batch.ExtendAvailTx(n.probeAvail, tx, n.resolve)
+		sess := n.probeSession(key)
+		sess.Push(tx)
+		cost, err := sess.Cost()
 		if err != nil {
 			panic(fmt.Sprintf("distbucket: cost probe: %v", err))
 		}
@@ -521,11 +546,15 @@ func (n *node) onReport(ctx *distnet.Ctx, m reportMsg) {
 			placed = i
 			break
 		}
+		sess.Pop()
 	}
 	if placed < 0 {
 		placed = n.cfg.maxLevel
 		n.audit.Overflowed++
 		n.cfg.met.overflow.Inc()
+		// The top-level probe retracted the push; the forced placement
+		// must re-enter its session.
+		n.probeSession(bucketKey{cluster: m.Cluster, level: placed}).Push(tx)
 	}
 	key := bucketKey{cluster: m.Cluster, level: placed}
 	n.buckets[key] = append(n.buckets[key], pendTx{
@@ -552,24 +581,37 @@ func (n *node) learn(os objSnapshot) {
 	}
 }
 
-// problem assembles a batch problem from the leader's availability
-// knowledge; the granted map (if non-nil) takes precedence.
+// probeSession returns (creating on first use) the persistent batch
+// session mirroring the partial bucket at key.
+func (n *node) probeSession(key bucketKey) batch.Session {
+	s, ok := n.probeSess[key]
+	if !ok {
+		s = batch.NewSession(n.cfg.batch, &n.probeProb, batch.SessionOptions{Obs: n.cfg.obs, Tours: n.tours})
+		n.probeSess[key] = s
+	}
+	return s
+}
+
+// resolveKnown resolves one object's availability from the leader's
+// knowledge: the latest availability heard of, else the object's origin.
+func (n *node) resolveKnown(o core.ObjID) batch.Avail {
+	if a, ok := n.known[o]; ok {
+		return a
+	}
+	obj := n.cfg.in.Objects[o]
+	return batch.Avail{Node: obj.Origin, Free: obj.Created}
+}
+
+// problem assembles a one-shot batch problem from the leader's
+// availability knowledge; the granted map (if non-nil) takes precedence.
 func (n *node) problem(txns []*core.Transaction, now core.Time, granted map[core.ObjID]batch.Avail) *batch.Problem {
 	avail := make(map[core.ObjID]batch.Avail)
-	for _, tx := range txns {
-		for _, o := range tx.Objects {
-			if a, ok := granted[o]; ok {
-				avail[o] = a
-				continue
-			}
-			if a, ok := n.known[o]; ok {
-				avail[o] = a
-				continue
-			}
-			obj := n.cfg.in.Objects[o]
-			avail[o] = batch.Avail{Node: obj.Origin, Free: obj.Created}
+	batch.ExtendAvail(avail, txns, func(o core.ObjID) batch.Avail {
+		if a, ok := granted[o]; ok {
+			return a
 		}
-	}
+		return n.resolveKnown(o)
+	})
 	return &batch.Problem{G: n.cfg.g, Now: now, Txns: txns, Avail: avail, Slow: n.cfg.slow}
 }
 
@@ -618,6 +660,12 @@ func (n *node) maybeStartSession(ctx *distnet.Ctx) {
 		return
 	}
 	delete(n.buckets, key)
+	// The bucket drains into this protocol session; its probe session must
+	// drop the same transactions so later reports against the (now empty)
+	// bucket probe the empty set.
+	if ps, ok := n.probeSess[key]; ok {
+		ps.Reset()
+	}
 	n.audit.Activations++
 	n.cfg.met.activations.Inc()
 	n.sessSeq++

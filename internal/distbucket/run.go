@@ -123,6 +123,7 @@ func Run(in *core.Instance, opts Options) (*Result, error) {
 		slow:        graph.Weight(slow),
 		maxLevel:    maxLevel,
 		met:         newProtoMetrics(opts.Obs),
+		obs:         opts.Obs,
 		faulty:      faulty,
 		maxJitter:   plan.MaxJitter,
 		slack:       defaultTime(opts.Faults.RetrySlack, 2),

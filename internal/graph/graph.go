@@ -48,6 +48,7 @@ type Graph struct {
 type spTree struct {
 	dist   []Weight
 	parent []NodeID // parent[v] on shortest path tree; -1 for source/unreachable
+	hop    []NodeID // first node after the source on the path to v; -1 for source/unreachable
 }
 
 // New returns an empty graph with n nodes and no edges.
@@ -173,10 +174,12 @@ func (g *Graph) dijkstra(src NodeID) *spTree {
 	t := &spTree{
 		dist:   make([]Weight, n),
 		parent: make([]NodeID, n),
+		hop:    make([]NodeID, n),
 	}
 	for i := range t.dist {
 		t.dist[i] = Infinite
 		t.parent[i] = -1
+		t.hop[i] = -1
 	}
 	t.dist[src] = 0
 	frontier := pq.New(lessHeapItem, heapItem{node: src, dist: 0})
@@ -199,6 +202,30 @@ func (g *Graph) dijkstra(src NodeID) *spTree {
 				// Deterministic tie-break: prefer the smaller-ID parent.
 				t.parent[e.To] = u
 			}
+		}
+	}
+	// Fill the first-hop table in a post-pass (parents can still change on
+	// tie-breaks during the main loop). Each node walks its parent chain
+	// until it reaches src or a node whose hop is already known, then the
+	// whole chain shares that answer — amortized O(n) overall, and NextHop
+	// becomes a single array lookup instead of an O(path length) walk.
+	var chain []NodeID
+	for v := NodeID(0); int(v) < n; v++ {
+		if v == src || t.dist[v] == Infinite || t.hop[v] != -1 {
+			continue
+		}
+		chain = chain[:0]
+		cur := v
+		for cur != src && t.hop[cur] == -1 {
+			chain = append(chain, cur)
+			cur = t.parent[cur]
+		}
+		h := t.hop[cur] // -1 when cur == src
+		for i := len(chain) - 1; i >= 0; i-- {
+			if h == -1 {
+				h = chain[i] // first node after src on this branch
+			}
+			t.hop[chain[i]] = h
 		}
 	}
 	return t
@@ -226,12 +253,7 @@ func (g *Graph) NextHop(u, v NodeID) NodeID {
 	if t.dist[v] == Infinite {
 		return -1
 	}
-	// Walk the tree from v back toward u; the last node before u is the hop.
-	cur := v
-	for t.parent[cur] != u {
-		cur = t.parent[cur]
-	}
-	return cur
+	return t.hop[v]
 }
 
 // Path returns the node sequence of the deterministic shortest path from u to

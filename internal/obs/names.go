@@ -48,6 +48,14 @@ const (
 	NameBucketScheduled   = "bucket.scheduled"
 	NameBucketLevel       = "bucket.level"
 
+	// batch session instruments (sessionized batch substrate).
+	NameBatchSessions        = "batch.sessions"
+	NameBatchSessionPushes   = "batch.session_pushes"
+	NameBatchSessionCosts    = "batch.session_costs"
+	NameBatchSessionRebuilds = "batch.session_rebuilds"
+	NameBatchTourCacheHits   = "batch.tour_cache_hits"
+	NameBatchTourCacheMisses = "batch.tour_cache_misses"
+
 	// depgraph conflict-index instruments.
 	NameDepgraphLiveVertices = "depgraph.live_vertices"
 	NameDepgraphArenaBytes   = "depgraph.arena_bytes"
@@ -115,6 +123,12 @@ var registeredNames = []string{
 	NameBucketActivations,
 	NameBucketScheduled,
 	NameBucketLevel,
+	NameBatchSessions,
+	NameBatchSessionPushes,
+	NameBatchSessionCosts,
+	NameBatchSessionRebuilds,
+	NameBatchTourCacheHits,
+	NameBatchTourCacheMisses,
 	NameDepgraphLiveVertices,
 	NameDepgraphArenaBytes,
 	NameDepgraphEdgesReused,

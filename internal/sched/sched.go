@@ -100,6 +100,21 @@ type RunResult struct {
 	Metrics *obs.Snapshot
 }
 
+// EngineOptions are the engine-selection knobs shared by the central
+// schedulers. Both greedy and bucket maintain two engines: an incremental
+// default (persistent conflict index, sessionized batch substrate) and the
+// original from-scratch implementation kept as a byte-identical reference.
+// Embed this struct in a scheduler's Options to get the shared knob; the
+// schedulers' original per-package RebuildOracle fields remain as
+// deprecated forwards (either spelling selects the oracle).
+type EngineOptions struct {
+	// RebuildOracle selects the from-scratch reference engine instead of
+	// the incremental default. Both produce byte-identical schedules (the
+	// root differential tests pin this); the oracle trades speed for
+	// being the directly-auditable implementation of the paper.
+	RebuildOracle bool
+}
+
 // Options configure a driver run.
 type Options struct {
 	Sim core.SimOptions
