@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint race bench bench-quick bench-scale fuzz-quick
+.PHONY: all build test check vet fmt lint race bench bench-quick bench-scale bench-par fuzz-quick
 
 all: check
 
@@ -28,10 +28,18 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# race covers every package with a parallel compute phase: the two-phase
+# core.Sim step engine and its sched drivers, the shared internal/par
+# phase-runner, the parallel distnet/distbucket engines, the sweep
+# runner's worker pool, and the concurrently-read graph/depgraph
+# structures. The root run drives the parallel-vs-sequential identity
+# tests with the detector on.
 race:
-	$(GO) test -race ./internal/distnet/... ./internal/distbucket/... \
+	$(GO) test -race ./internal/core/... ./internal/sched/... \
+		./internal/par/... ./internal/distnet/... ./internal/distbucket/... \
 		./internal/runner/... ./internal/graph/... \
 		./internal/depgraph/... ./internal/pq/...
+	$(GO) test -race -run 'TestParallel|TestAdvanceToIncrements' .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -44,6 +52,7 @@ bench:
 bench-quick: build
 	$(GO) run ./cmd/dtmbench -exp all -quick -benchjson BENCH_runner.json >/dev/null
 	$(GO) run ./cmd/dtmbench -quick -faultjson BENCH_faults.json
+	$(GO) run ./cmd/dtmbench -quick -parjson BENCH_par.json
 
 # bench-scale times the incremental conflict-index engine against the
 # per-arrival rebuild oracle (greedy clique + bucket line, quick sizes
@@ -51,6 +60,13 @@ bench-quick: build
 # ns/arrival and allocs/arrival per engine to BENCH_scale.json.
 bench-scale: build
 	$(GO) run ./cmd/dtmbench -quick -scalejson BENCH_scale.json
+
+# bench-par times one large run (n=4096 quick; -quick off adds n=16384)
+# sequentially and under the two-phase step engine at P in {2,4,8},
+# asserts byte-identical decision logs, and writes min-of-runs wall-clock
+# and speedups per engine/topology row to BENCH_par.json.
+bench-par: build
+	$(GO) run ./cmd/dtmbench -quick -parjson BENCH_par.json
 
 # fuzz-quick gives each native fuzzer a short budget: the coloring
 # interval sweeps (every color decision funnels through them), the

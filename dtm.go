@@ -309,6 +309,18 @@ func Replay(in *Instance, decisions []Decision, opts SimOptions) (*core.Result, 
 	return core.Replay(in, decisions, opts)
 }
 
+// ResultErr returns the run's failure error, or nil.
+//
+// Deprecated: the core.Result.Err field it used to forward was removed;
+// read RunResult.Err (or the error return of Replay) directly. This
+// facade accessor remains for one release.
+func ResultErr(rr *RunResult) error {
+	if rr == nil {
+		return nil
+	}
+	return rr.Err
+}
+
 // ClosedLoopConfig configures RunClosedLoop.
 type ClosedLoopConfig = sched.ClosedLoopConfig
 

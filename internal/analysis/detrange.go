@@ -13,6 +13,7 @@ import (
 var engineBases = map[string]bool{
 	"greedy": true, "bucket": true, "coloring": true, "depgraph": true,
 	"sched": true, "core": true, "distbucket": true, "batch": true,
+	"par": true,
 }
 
 // Detrange reports map iterations in engine packages whose bodies feed an
@@ -121,7 +122,15 @@ func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
 				return true
 			}
 			sig, ok := fn.Type().(*types.Signature)
-			if !ok || sig.Recv() == nil || !orderSinkMethods[fn.Name()] {
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			if isParRunnerMap(fn) {
+				pass.Reportf(stmt.Pos(),
+					"par.Runner.Map launched inside map iteration: the compute fan-out receives a different item order every run and the single-threaded merge cannot restore it; collect into a sorted slice first")
+				return true
+			}
+			if !orderSinkMethods[fn.Name()] {
 				return true
 			}
 			pass.Reportf(stmt.Pos(),
@@ -130,6 +139,28 @@ func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
 		}
 		return true
 	})
+}
+
+// isParRunnerMap reports whether fn is (*par.Runner).Map — the parallel
+// compute fan-out of the two-phase step engine. It is its own sink kind:
+// the merge phase that follows a Map consumes per-index results in index
+// order, so handing Map an index space derived from a map iteration
+// bakes the randomized order into the phase boundary.
+func isParRunnerMap(fn *types.Func) bool {
+	if fn.Name() != "Map" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Runner" && named.Obj().Pkg() != nil &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/par")
 }
 
 // isBuiltinAppend reports whether call invokes the append builtin.

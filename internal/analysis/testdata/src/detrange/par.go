@@ -1,0 +1,42 @@
+// Fixture for the detrange par.Runner.Map sink: fanning compute out from
+// inside a map iteration bakes the randomized order into the phase
+// boundary; the fix is the same collect-then-sort idiom.
+package detrange
+
+import (
+	"sort"
+
+	"dtm/internal/par"
+)
+
+func mapFanOut(r *par.Runner, m map[int]int) {
+	for k := range m {
+		k := k
+		r.Map(1, func(i, w int) { _ = k }) // want `par\.Runner\.Map launched inside map iteration`
+	}
+}
+
+// sortedFanOut is the canonical fix: collect the keys, sort them, then
+// hand the fan-out a deterministic index space. Not a finding.
+func sortedFanOut(r *par.Runner, m map[int]int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]int, len(keys))
+	r.Map(len(keys), func(i, w int) { out[i] = keys[i] * 2 })
+}
+
+type mapper struct{}
+
+func (mapper) Map(n int, f func(i, w int)) {}
+
+// otherMap has the same method name on an unrelated type; only the
+// internal/par Runner is the phase boundary. Not a finding.
+func otherMap(r mapper, m map[int]int) {
+	for k := range m {
+		k := k
+		r.Map(1, func(i, w int) { _ = k })
+	}
+}

@@ -1,0 +1,34 @@
+// Fixture for the GetScratchN/ReleaseAll pair: a per-worker scratch set
+// acquired for a parallel compute phase must go back to the pool on every
+// return path, same as a single GetScratch.
+package poolreturn
+
+import "dtm/internal/depgraph"
+
+func workerLeaks() int {
+	ss := depgraph.GetScratchN(4) // want `pooled scratch from GetScratchN\(\) is not released on every return path \(no Release/Put in this function\)`
+	return len(ss)
+}
+
+// workerDeferred is the parallel-gather idiom: acquire the worker set,
+// defer the bulk release. Not a finding.
+func workerDeferred() int {
+	ss := depgraph.GetScratchN(4)
+	defer depgraph.ReleaseAll(ss)
+	return len(ss)
+}
+
+func workerConditionalLeak(cond bool) {
+	ss := depgraph.GetScratchN(2) // want `pooled scratch from GetScratchN\(\) is not released on every return path \(return at .* precedes the release\)`
+	if cond {
+		return
+	}
+	depgraph.ReleaseAll(ss)
+}
+
+// workerReleasedBeforeReturn releases on its single (implicit) path.
+// Not a finding.
+func workerReleasedBeforeReturn() {
+	ss := depgraph.GetScratchN(2)
+	depgraph.ReleaseAll(ss)
+}

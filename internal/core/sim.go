@@ -6,6 +6,7 @@ import (
 
 	"dtm/internal/graph"
 	"dtm/internal/obs"
+	"dtm/internal/par"
 	"dtm/internal/pq"
 )
 
@@ -34,6 +35,15 @@ type SimOptions struct {
 	// events to its sink. Nil disables instrumentation at the cost of one
 	// nil-check per event site.
 	Obs *obs.Metrics
+	// Parallel bounds the worker count of the two-phase step engine: each
+	// step's independent read-only work (execution-feasibility checks,
+	// dispatch route planning) fans out over the workers, and every state
+	// mutation — pending-queue edits, edge acquisition, obs emission — is
+	// applied afterwards on the calling goroutine in canonical event
+	// order, so a parallel run is byte-identical to a sequential one.
+	// 0 and 1 mean sequential (the default), negative means GOMAXPROCS.
+	// See DESIGN.md §12 for the phase contract.
+	Parallel int
 }
 
 // simMetrics holds the engine's pre-resolved instrument handles. All are
@@ -176,6 +186,16 @@ type Sim struct {
 	dirty  map[ObjID]bool
 	failed error
 
+	// Two-phase step engine (SimOptions.Parallel). par is nil when
+	// sequential; the scratch slices below are reused across steps: the
+	// timestamp's batched exec events with their computed verdicts, and
+	// the dirty-object IDs with their dispatch plans.
+	par       *par.Runner
+	execBatch []TxID
+	verdicts  []execVerdict
+	dispIDs   []ObjID
+	plans     []dispatchPlan
+
 	obs *obs.Metrics
 	met simMetrics
 
@@ -207,6 +227,7 @@ func NewSim(in *Instance, opts SimOptions) (*Sim, error) {
 		due:       make(map[TxID]bool),
 		obs:       opts.Obs,
 		met:       newSimMetrics(opts.Obs),
+		par:       par.FromOption(opts.Parallel),
 	}
 	for i := range s.exec {
 		s.exec[i] = -1
@@ -373,11 +394,16 @@ func (s *Sim) AdvanceTo(t Time) error {
 				s.dirty[ObjID(e.id)] = true
 				s.releaseEdge(os.curEdge)
 			case prioExec:
-				if err := s.executeTx(TxID(e.id)); err != nil {
-					s.failed = err
-					return err
-				}
+				// Exec events sort after every receive at this timestamp,
+				// so the whole batch sees the step's final object
+				// positions; collect it and run the two-phase check once
+				// the drain finishes.
+				s.execBatch = append(s.execBatch, TxID(e.id))
 			}
+		}
+		if err := s.execPhase(); err != nil {
+			s.failed = err
+			return err
 		}
 		s.attemptDue()
 		s.dispatchDirty()
@@ -386,31 +412,67 @@ func (s *Sim) AdvanceTo(t Time) error {
 	return nil
 }
 
-func (s *Sim) executeTx(tx TxID) error {
+// execVerdict is the read-only outcome of checking one transaction at
+// its execution step: either every object is present (ok) or the first
+// missing one with its violation detail. Verdicts within a batch are
+// independent — commits mutate pending queues and done flags, never the
+// position fields the check reads — so the compute phase may evaluate
+// them in any order.
+type execVerdict struct {
+	ok     bool
+	obj    ObjID
+	detail string
+}
+
+func (s *Sim) checkTx(tx TxID) execVerdict {
 	t := s.in.Txns[tx]
 	for _, o := range t.Objects {
 		os := &s.objs[o]
-		var detail string
 		switch {
 		case !os.exists:
-			detail = "object not created yet"
+			return execVerdict{obj: o, detail: "object not created yet"}
 		case os.inTransit:
-			detail = fmt.Sprintf("object in transit to node %d (arrives t=%d)", os.next, os.arrive)
+			return execVerdict{obj: o, detail: fmt.Sprintf("object in transit to node %d (arrives t=%d)", os.next, os.arrive)}
 		case os.at != t.Node:
-			detail = fmt.Sprintf("object at node %d, transaction at node %d", os.at, t.Node)
-		default:
+			return execVerdict{obj: o, detail: fmt.Sprintf("object at node %d, transaction at node %d", os.at, t.Node)}
+		}
+	}
+	return execVerdict{ok: true}
+}
+
+// execPhase runs the timestamp's batched exec events through the
+// two-phase engine: verdicts computed in parallel (read-only), then
+// applied in event order — commit, elastic deferral, or the step's
+// first violation.
+func (s *Sim) execPhase() error {
+	n := len(s.execBatch)
+	if n == 0 {
+		return nil
+	}
+	if cap(s.verdicts) < n {
+		s.verdicts = make([]execVerdict, n)
+	}
+	verdicts := s.verdicts[:n]
+	batch := s.execBatch
+	s.par.Map(n, func(i, _ int) {
+		verdicts[i] = s.checkTx(batch[i])
+	})
+	defer func() { s.execBatch = s.execBatch[:0] }()
+	for i, tx := range batch {
+		v := verdicts[i]
+		if v.ok {
+			s.commitTx(tx)
 			continue
 		}
 		if s.opts.ElasticExec {
 			// Wait for the stragglers; attemptDue retries as objects land.
 			s.due[tx] = true
 			s.met.elastic.Inc()
-			return nil
+			continue
 		}
 		s.met.violations.Inc()
-		return &ViolationError{Tx: tx, Obj: o, At: s.now, Detail: detail}
+		return &ViolationError{Tx: tx, Obj: v.obj, At: s.now, Detail: v.detail}
 	}
-	s.commitTx(tx)
 	return nil
 }
 
@@ -473,54 +535,92 @@ func (s *Sim) allPresent(tx TxID) bool {
 
 // dispatchDirty performs the "forward objects" action for every object
 // whose situation changed at the current step, in object-ID order (the
-// order matters once links have bounded capacity).
+// order matters once links have bounded capacity). Route planning —
+// head-user lookup, NextHop, edge weight — is read-only per object and
+// fans out over the workers; the applies run afterwards in ID order.
 func (s *Sim) dispatchDirty() {
 	if len(s.dirty) == 0 {
 		return
 	}
-	ids := make([]ObjID, 0, len(s.dirty))
+	ids := s.dispIDs[:0]
 	for o := range s.dirty {
 		ids = append(ids, o)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, o := range ids {
 		delete(s.dirty, o)
-		s.dispatch(o)
 	}
+	if cap(s.plans) < len(ids) {
+		s.plans = make([]dispatchPlan, len(ids))
+	}
+	plans := s.plans[:len(ids)]
+	s.par.Map(len(ids), func(i, _ int) {
+		plans[i] = s.planDispatch(ids[i])
+	})
+	for i := range plans {
+		s.applyDispatch(plans[i])
+	}
+	s.dispIDs = ids[:0]
 }
 
-func (s *Sim) dispatch(o ObjID) {
+// dispatchPlan is the read-only route computation for one dirty object:
+// whether it should move, and if so along which edge at what weight. A
+// plan never reads link occupancy — the capacity check belongs to the
+// apply phase, because earlier applies in the same batch change it. A
+// plan stays valid at apply time: applies mutate only their own object's
+// state and the edge maps, never another object's position or pending
+// queue.
+type dispatchPlan struct {
+	obj  ObjID
+	move bool
+	hop  graph.NodeID
+	key  edgeKey
+	w    graph.Weight
+}
+
+func (s *Sim) planDispatch(o ObjID) dispatchPlan {
+	p := dispatchPlan{obj: o}
 	os := &s.objs[o]
 	if !os.exists || os.inTransit || os.queued || len(os.pending) == 0 {
-		return
+		return p
 	}
 	target := s.in.Txns[os.pending[0]].Node
 	if os.at == target {
-		return // wait at the requester until it executes
+		return p // wait at the requester until it executes
 	}
-	hop := s.in.G.NextHop(os.at, target)
-	key := mkEdgeKey(os.at, hop)
-	if cap := s.opts.LinkCapacity; cap > 0 && s.edgeBusy[key] >= cap {
+	p.move = true
+	p.hop = s.in.G.NextHop(os.at, target)
+	p.key = mkEdgeKey(os.at, p.hop)
+	p.w, _ = s.in.G.EdgeWeight(os.at, p.hop)
+	return p
+}
+
+func (s *Sim) applyDispatch(p dispatchPlan) {
+	if !p.move {
+		return
+	}
+	o := p.obj
+	os := &s.objs[o]
+	if cap := s.opts.LinkCapacity; cap > 0 && s.edgeBusy[p.key] >= cap {
 		// The link is saturated: queue in deterministic (FIFO) order and
 		// re-dispatch when a traverser arrives.
 		os.queued = true
-		os.queuedOn = key
-		s.edgeQueue[key] = append(s.edgeQueue[key], o)
+		os.queuedOn = p.key
+		s.edgeQueue[p.key] = append(s.edgeQueue[p.key], o)
 		s.met.linkQueued.Inc()
 		return
 	}
-	w, _ := s.in.G.EdgeWeight(os.at, hop)
-	s.edgeBusy[key]++
+	s.edgeBusy[p.key]++
 	os.inTransit = true
-	os.next = hop
-	os.curEdge = key
-	os.arrive = s.now + Time(w*s.opts.slow())
-	os.traveled += w
+	os.next = p.hop
+	os.curEdge = p.key
+	os.arrive = s.now + Time(p.w*s.opts.slow())
+	os.traveled += p.w
 	s.met.moves.Inc()
-	s.met.travel.Add(int64(w))
-	s.met.hops.Observe(int64(w))
+	s.met.travel.Add(int64(p.w))
+	s.met.hops.Observe(int64(p.w))
 	if s.obs != nil {
-		s.obs.Emit(obs.Event{At: int64(s.now), Kind: "move", Obj: int(o), Node: int(hop), Value: int64(w)})
+		s.obs.Emit(obs.Event{At: int64(s.now), Kind: "move", Obj: int(o), Node: int(p.hop), Value: int64(p.w)})
 	}
 	s.push(event{at: os.arrive, prio: prioArrive, id: int(o)})
 }
@@ -592,6 +692,10 @@ func (s *Sim) DecidedAt(tx TxID) (Time, bool) {
 // AllExecuted reports whether every transaction has executed.
 func (s *Sim) AllExecuted() bool { return s.doneCount == len(s.in.Txns) }
 
+// Failed returns the error that stopped the run, or nil while the run is
+// healthy. It replaces the removed Result.Err field.
+func (s *Sim) Failed() error { return s.failed }
+
 // LastUser returns the final decided user of object o (the one with the
 // largest execution time) and that time, or ok=false if no user is decided.
 // Batch schedulers use it to derive object availability.
@@ -604,19 +708,16 @@ func (s *Sim) LastUser(o ObjID) (TxID, Time, bool) {
 	return tx, s.exec[tx], true
 }
 
-// Result summarizes a completed (or failed) run.
+// Result summarizes a completed (or failed) run. It carries numbers
+// only; whether the run failed is reported by the error returns of
+// AdvanceTo/RunToCompletion/Replay and by Sim.Failed (the deprecated
+// Result.Err field was removed — sched.RunResult.Err supersedes it).
 type Result struct {
 	Makespan  Time         // max execution time over all transactions
 	MaxLat    Time         // max (exec - arrival)
 	SumLat    Time         // sum of latencies
 	Latency   []Time       // per-transaction latency, indexed by TxID
 	TotalComm graph.Weight // total distance traveled by all objects
-	// Err is non-nil if the run violated the model.
-	//
-	// Deprecated: when this Result is consumed through sched.RunResult
-	// (which embeds it), read RunResult.Err instead — it supersedes this
-	// field with driver-level failures the engine never sees.
-	Err error
 }
 
 // MeanLat returns the mean transaction latency.
@@ -630,7 +731,7 @@ func (r *Result) MeanLat() float64 {
 // Result summarizes the run so far. Call after AllExecuted (or after an
 // error) for final numbers.
 func (s *Sim) Result() *Result {
-	r := &Result{Latency: make([]Time, len(s.in.Txns)), Err: s.failed}
+	r := &Result{Latency: make([]Time, len(s.in.Txns))}
 	for i, t := range s.in.Txns {
 		if !s.done[i] {
 			continue

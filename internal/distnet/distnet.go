@@ -21,11 +21,11 @@ import (
 	"container/heap"
 	"fmt"
 	"reflect"
-	"sync"
 
 	"dtm/internal/core"
 	"dtm/internal/graph"
 	"dtm/internal/obs"
+	"dtm/internal/par"
 )
 
 // EventKind discriminates handler events.
@@ -214,6 +214,11 @@ type Engine struct {
 	met    engineMetrics
 	byType map[reflect.Type]*obs.Counter // distnet.msg.<type> cache
 	bySize map[reflect.Type]int64        // shallow payload size cache
+
+	// par is the compute-phase runner behind Options.Parallel (nil =
+	// sequential): the engine that first used the compute/merge pattern
+	// now runs it through the shared internal/par phase-runner.
+	par *par.Runner
 }
 
 // New builds an engine over g with one handler per node.
@@ -234,6 +239,9 @@ func New(g *graph.Graph, handlers []Handler, opts Options) (*Engine, error) {
 		faulty:  opts.Faults.Enabled(),
 		sendSeq: make([]int64, g.N()),
 		met:     newEngineMetrics(opts.Obs),
+	}
+	if opts.Parallel {
+		e.par = par.New(0)
 	}
 	if opts.Obs != nil {
 		e.byType = make(map[reflect.Type]*obs.Counter)
@@ -370,21 +378,7 @@ func (e *Engine) stepOnce(at core.Time) error {
 		}
 		ctxs[i] = ctx
 	}
-	if e.opts.Parallel && len(batches) > 1 {
-		var wg sync.WaitGroup
-		for i := range batches {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				run(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range batches {
-			run(i)
-		}
-	}
+	e.par.Map(len(batches), func(i, _ int) { run(i) })
 	// Deterministic merge: outboxes in node order, preserving each node's
 	// send order. Fault decisions also resolve here — single-threaded, and
 	// keyed only on (step, src, dst, srcSeq), so both engines agree.

@@ -5,7 +5,10 @@
 // metric-closure minimum spanning trees used by the lower-bound estimators.
 //
 // All query methods are safe for concurrent use; shortest-path trees are
-// computed lazily per source and cached.
+// computed lazily per source and cached, and trees for distinct sources
+// build concurrently (per-source build locks), so the parallel engines'
+// compute phases can warm a topology's tree set with near-linear scaling.
+// AddEdge must not race with queries: construct first, then query.
 package graph
 
 import (
@@ -41,7 +44,8 @@ type Graph struct {
 	nbr  []map[NodeID]int // per-node: neighbor -> index into adj[u]
 	m    int
 
-	mu    sync.Mutex               // serializes tree builds and edge insertion
+	mu    sync.RWMutex             // write: edge insertion; read: in-flight tree builds
+	build []sync.Mutex             // per-source build locks: distinct sources build concurrently
 	trees []atomic.Pointer[spTree] // lazily built shortest-path tree per source
 }
 
@@ -59,6 +63,7 @@ func New(n int) (*Graph, error) {
 	return &Graph{
 		adj:   make([][]Edge, n),
 		nbr:   make([]map[NodeID]int, n),
+		build: make([]sync.Mutex, n),
 		trees: make([]atomic.Pointer[spTree], n),
 	}, nil
 }
@@ -151,17 +156,22 @@ func (g *Graph) EdgeWeight(u, v NodeID) (Weight, bool) {
 // needed. The read path is a single atomic pointer load — Dist/NextHop sit
 // on the hot path of every simulation step, and even an uncontended RLock
 // showed up in profiles — so concurrent sweep cells sharing one topology
-// answer queries without synchronizing; only a cache miss takes the lock
-// (and re-checks under it).
+// answer queries without synchronizing. A cache miss takes only the
+// per-source build lock (re-checking under it), so the parallel compute
+// phases build trees for distinct sources concurrently; the graph-wide
+// RLock held across the build and the store keeps an AddEdge from
+// interleaving between a build and its publication.
 func (g *Graph) tree(src NodeID) *spTree {
 	if t := g.trees[src].Load(); t != nil {
 		return t
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.build[src].Lock()
+	defer g.build[src].Unlock()
 	if t := g.trees[src].Load(); t != nil {
 		return t
 	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	t := g.dijkstra(src)
 	g.trees[src].Store(t)
 	return t

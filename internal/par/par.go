@@ -1,0 +1,120 @@
+// Package par is the shared phase-runner behind every parallel execution
+// path in the engine: the two-phase core.Sim step loop, the sched drivers'
+// parallel arrival evaluation, and the distnet goroutine-per-node engine.
+//
+// The pattern all of them follow is compute/merge: a step's independent,
+// read-only work fans out across a bounded worker set, and every state
+// mutation happens afterwards on the caller's goroutine in canonical
+// order. The runner owns only the fan-out half; it makes no ordering
+// promises about when f(i) runs relative to f(j), so any work handed to
+// Map must be order-free and side-effect-free on shared state (each
+// worker may write to its own per-worker arena, addressed by the worker
+// index Map passes in). See DESIGN.md §12 for the full phase contract.
+//
+// The runner is deliberately tiny: no persistent goroutine pool, no
+// channels, no metrics. Workers are spawned per Map call and claim fixed
+// chunks of the index space from an atomic cursor, so a call costs a
+// handful of goroutine launches and one atomic per chunk — cheap enough
+// for per-simulation-step use — and an idle runner costs nothing. It
+// also keeps the runner observability-free by construction: a Map call
+// cannot perturb a run's metric state, which the byte-identity contract
+// between sequential and parallel runs depends on.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner fans indexed work out over a bounded worker set. A nil *Runner
+// is the sequential runner: Map runs inline on the caller's goroutine
+// and Workers reports 1, so call sites gate parallelism with a single
+// nil-producing constructor instead of branching themselves.
+type Runner struct {
+	workers int
+}
+
+// New returns a runner with the given worker bound. workers <= 0 uses
+// GOMAXPROCS; workers == 1 is a valid (if pointless) bound of one.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers}
+}
+
+// FromOption translates the SimOptions.Parallel-style knob into a
+// runner: 0 and 1 mean sequential (nil runner), N > 1 means N workers,
+// and negative means GOMAXPROCS.
+func FromOption(n int) *Runner {
+	if n == 0 || n == 1 {
+		return nil
+	}
+	return New(n)
+}
+
+// Workers returns the worker bound (1 for the nil sequential runner).
+// Per-worker arenas sized by this value are always large enough for the
+// worker indexes Map passes to f.
+func (r *Runner) Workers() int {
+	if r == nil {
+		return 1
+	}
+	return r.workers
+}
+
+// Map invokes f(i, w) exactly once for every i in [0, n), where w is the
+// index of the worker running that call (0 <= w < Workers()). On the nil
+// runner, or when n < 2, every call runs inline in index order with
+// w == 0. Otherwise min(Workers(), n) goroutines claim fixed-size chunks
+// of the index space from a shared atomic cursor, so slow items do not
+// pin the remaining work to one worker.
+//
+// f must treat all shared state as read-only; anything it writes must be
+// confined to per-index slots or per-worker arenas. Map returns once
+// every call has finished.
+func (r *Runner) Map(n int, f func(i, w int)) {
+	if n <= 0 {
+		return
+	}
+	workers := r.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i, 0)
+		}
+		return
+	}
+	// Chunks trade scheduling overhead (one atomic per chunk) against
+	// balance; 4 chunks per worker keeps the tail short without making
+	// tiny maps pay per-item atomics.
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&cursor, int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					f(i, w)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

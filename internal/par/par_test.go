@@ -1,0 +1,84 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilRunnerIsSequential(t *testing.T) {
+	var r *Runner
+	if got := r.Workers(); got != 1 {
+		t.Fatalf("nil runner Workers() = %d, want 1", got)
+	}
+	var order []int
+	r.Map(5, func(i, w int) {
+		if w != 0 {
+			t.Errorf("nil runner passed worker %d, want 0", w)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil runner ran out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("nil runner ran %d items, want 5", len(order))
+	}
+}
+
+func TestFromOption(t *testing.T) {
+	if FromOption(0) != nil || FromOption(1) != nil {
+		t.Fatal("FromOption(0/1) must return the sequential nil runner")
+	}
+	if got := FromOption(3).Workers(); got != 3 {
+		t.Fatalf("FromOption(3).Workers() = %d, want 3", got)
+	}
+	if got := FromOption(-1).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("FromOption(-1).Workers() = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestMapCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			r := New(workers)
+			counts := make([]int64, n)
+			r.Map(n, func(i, w int) {
+				if w < 0 || w >= r.Workers() {
+					t.Errorf("worker index %d out of [0,%d)", w, r.Workers())
+				}
+				atomic.AddInt64(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPerWorkerArenasDoNotCollide(t *testing.T) {
+	r := New(4)
+	const n = 500
+	arenas := make([][]int, r.Workers())
+	r.Map(n, func(i, w int) {
+		arenas[w] = append(arenas[w], i)
+	})
+	seen := make([]bool, n)
+	total := 0
+	for _, a := range arenas {
+		for _, i := range a {
+			if seen[i] {
+				t.Fatalf("index %d appears in two arenas", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("arenas hold %d items, want %d", total, n)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"dtm/internal/core"
 	"dtm/internal/depgraph"
 	"dtm/internal/graph"
+	"dtm/internal/par"
 )
 
 // ClosedLoopConfig describes the paper's exact transaction issuing process
@@ -61,7 +62,8 @@ func RunClosedLoop(g *graph.Graph, cfg ClosedLoopConfig, s Scheduler, opts Optio
 		return nil, nil, err
 	}
 	dm := newDriverMetrics(opts.Obs)
-	env := &Env{Sim: sim, G: g, Obs: opts.Obs, Scratch: depgraph.GetScratch()}
+	env := &Env{Sim: sim, G: g, Obs: opts.Obs, Scratch: depgraph.GetScratch(),
+		Par: par.FromOption(simOpts.Parallel)}
 	defer env.Scratch.Release()
 	if err := s.Start(env); err != nil {
 		return nil, nil, fmt.Errorf("sched: %s start: %w", s.Name(), err)

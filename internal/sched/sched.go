@@ -20,6 +20,7 @@ import (
 	"dtm/internal/graph"
 	"dtm/internal/lowerbound"
 	"dtm/internal/obs"
+	"dtm/internal/par"
 	"dtm/internal/stats"
 )
 
@@ -35,6 +36,14 @@ type Env struct {
 	// not retain it past the run. May be nil under custom drivers;
 	// schedulers fall back to fetching their own.
 	Scratch *depgraph.Scratch
+	// Par is the run's phase-runner, shared with the Sim's two-phase step
+	// engine (nil = sequential, the default). A scheduler may fan its own
+	// per-arrival read-only work out over it — gather phases against the
+	// conflict index, distance prewarms — provided every Sim/obs mutation
+	// still happens on the driver goroutine in the sequential engine's
+	// order (DESIGN.md §12). Schedulers whose decisions depend on
+	// mid-batch mutation order must ignore it.
+	Par *par.Runner
 }
 
 // Scheduler is an online transaction scheduling algorithm. Implementations
@@ -184,7 +193,8 @@ func Run(in *core.Instance, s Scheduler, opts Options) (*RunResult, error) {
 		return nil, err
 	}
 	dm := newDriverMetrics(opts.Obs)
-	env := &Env{Sim: sim, G: in.G, Obs: opts.Obs, Scratch: depgraph.GetScratch()}
+	env := &Env{Sim: sim, G: in.G, Obs: opts.Obs, Scratch: depgraph.GetScratch(),
+		Par: par.FromOption(simOpts.Parallel)}
 	defer env.Scratch.Release()
 	if err := s.Start(env); err != nil {
 		return nil, fmt.Errorf("sched: %s start: %w", s.Name(), err)
@@ -295,7 +305,7 @@ func TakeSnapshot(sim *core.Sim, t core.Time) Snapshot {
 // with a snapshot of the obs registry (if any).
 func BuildResult(sim *core.Sim, name string, snaps []Snapshot, m *obs.Metrics) *RunResult {
 	rr := &RunResult{Result: sim.Result(), Scheduler: name}
-	rr.Err = rr.Result.Err
+	rr.Err = sim.Failed()
 	rr.Failed = rr.Err != nil
 	rr.Metrics = m.Snapshot()
 	for _, tx := range sim.Instance().Txns {
