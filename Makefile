@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint race bench bench-quick bench-scale bench-par fuzz-quick
+.PHONY: all build test check vet fmt lint race bench bench-quick bench-scale bench-par fuzz-quick soak
 
 all: check
 
@@ -53,6 +53,7 @@ bench-quick: build
 	$(GO) run ./cmd/dtmbench -exp all -quick -benchjson BENCH_runner.json >/dev/null
 	$(GO) run ./cmd/dtmbench -quick -faultjson BENCH_faults.json
 	$(GO) run ./cmd/dtmbench -quick -parjson BENCH_par.json
+	$(GO) run ./cmd/dtmbench -quick -streamjson BENCH_stream.json
 
 # bench-scale times the incremental conflict-index engine against the
 # per-arrival rebuild oracle (greedy clique + bucket line, quick sizes
@@ -67,6 +68,15 @@ bench-scale: build
 # and speedups per engine/topology row to BENCH_par.json.
 bench-par: build
 	$(GO) run ./cmd/dtmbench -quick -parjson BENCH_par.json
+
+# soak is the bounded-memory endurance gate: ten million streaming
+# arrivals through the greedy engine on a 4096-node star, with the flat
+# live-state assertion (-assertflat fails the run unless the in-flight
+# queue and the engine's live window plateau between the first and
+# second half of the run). Takes a few minutes; CI runs a short version.
+soak: build
+	$(GO) run ./cmd/dtmsim -topology star -alpha 4095 -beta 1 -sched greedy \
+		-stream poisson -rate 8 -arrivals 10000000 -assertflat -progress 2000000
 
 # fuzz-quick gives each native fuzzer a short budget: the coloring
 # interval sweeps (every color decision funnels through them), the

@@ -81,6 +81,7 @@ func BenchmarkTable10HubPlacement(b *testing.B)  { benchExperiment(b, "T10") }
 func BenchmarkFigure13Padding(b *testing.B)      { benchExperiment(b, "F13") }
 func BenchmarkTable11Faults(b *testing.B)        { benchExperiment(b, "T11") }
 func BenchmarkTable12Scale(b *testing.B)         { benchExperiment(b, "T12") }
+func BenchmarkTable14Stream(b *testing.B)        { benchExperiment(b, "T14") }
 
 // BenchmarkSweepWorkers times one trial-heavy experiment (T1) at several
 // worker-pool sizes; the rendered tables are byte-identical across them.

@@ -9,6 +9,7 @@
 //	dtmbench -all -benchjson F.json  # time sequential vs parallel, verify identical
 //	dtmbench -exp t11              # fault-injection sweep (IDs are case-insensitive)
 //	dtmbench -quick -faultjson BENCH_faults.json  # T11 rows as a JSON artifact
+//	dtmbench -quick -streamjson BENCH_stream.json # T14 stability frontier as a JSON artifact
 //	dtmbench -quick -parjson BENCH_par.json       # two-phase step engine: seq vs P in {2,4,8}
 //
 // Trials within each experiment run on the internal/runner worker pool.
@@ -41,18 +42,19 @@ import (
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list experiments")
-		exp       = flag.String("exp", "", "experiment ID to run (e.g. F1, T3, or 'all')")
-		all       = flag.Bool("all", false, "run every experiment")
-		quick     = flag.Bool("quick", false, "smaller sweeps")
-		seed      = flag.Int64("seed", 42, "random seed")
-		csv       = flag.Bool("csv", false, "emit CSV")
-		metrics   = flag.Bool("metrics", false, "print a JSON metrics report per experiment")
-		parallel  = flag.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-		benchjson = flag.String("benchjson", "", "run all experiments sequentially then in parallel, write timing JSON to FILE")
-		faultjson = flag.String("faultjson", "", "run the T11 fault sweep and write its rows as JSON to FILE")
-		scalejson = flag.String("scalejson", "", "benchmark incremental vs rebuild engines per arrival, write JSON to FILE")
-		parjson   = flag.String("parjson", "", "benchmark sequential vs two-phase parallel step engine, write JSON to FILE")
+		list       = flag.Bool("list", false, "list experiments")
+		exp        = flag.String("exp", "", "experiment ID to run (e.g. F1, T3, or 'all')")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "smaller sweeps")
+		seed       = flag.Int64("seed", 42, "random seed")
+		csv        = flag.Bool("csv", false, "emit CSV")
+		metrics    = flag.Bool("metrics", false, "print a JSON metrics report per experiment")
+		parallel   = flag.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		benchjson  = flag.String("benchjson", "", "run all experiments sequentially then in parallel, write timing JSON to FILE")
+		faultjson  = flag.String("faultjson", "", "run the T11 fault sweep and write its rows as JSON to FILE")
+		streamjson = flag.String("streamjson", "", "run the T14 stability frontier and write its rows as JSON to FILE")
+		scalejson  = flag.String("scalejson", "", "benchmark incremental vs rebuild engines per arrival, write JSON to FILE")
+		parjson    = flag.String("parjson", "", "benchmark sequential vs two-phase parallel step engine, write JSON to FILE")
 	)
 	flag.Parse()
 	switch {
@@ -71,7 +73,12 @@ func main() {
 			os.Exit(1)
 		}
 	case *faultjson != "":
-		if err := runFaultBench(*faultjson, *quick, *seed); err != nil {
+		if err := runTableBench(*faultjson, "T11", *quick, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "dtmbench:", err)
+			os.Exit(1)
+		}
+	case *streamjson != "":
+		if err := runTableBench(*streamjson, "T14", *quick, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "dtmbench:", err)
 			os.Exit(1)
 		}
@@ -126,18 +133,18 @@ func runOne(w io.Writer, e experiments.Experiment, quick bool, seed int64, csv, 
 	return nil
 }
 
-// runFaultBench runs the T11 fault-injection sweep and writes its table as
-// a machine-readable JSON report (header + rows) to path, for CI artifacts
-// tracking the protocol's robustness envelope over time.
-func runFaultBench(path string, quick bool, seed int64) error {
-	e, ok := experiments.ByID("T11")
+// runTableBench runs one registered experiment and writes its table as a
+// machine-readable JSON report (header + rows) to path, for CI artifacts
+// tracking the measured envelope over time (T11 faults, T14 stability).
+func runTableBench(path, id string, quick bool, seed int64) error {
+	e, ok := experiments.ByID(id)
 	if !ok {
-		return fmt.Errorf("fault experiment T11 not registered")
+		return fmt.Errorf("experiment %s not registered", id)
 	}
 	start := time.Now()
 	tb, err := e.Run(experiments.Config{Quick: quick, Seed: seed})
 	if err != nil {
-		return fmt.Errorf("T11: %w", err)
+		return fmt.Errorf("%s: %w", id, err)
 	}
 	var buf bytes.Buffer
 	if err := tb.RenderCSV(&buf); err != nil {
@@ -148,7 +155,7 @@ func runFaultBench(path string, quick bool, seed int64) error {
 		return err
 	}
 	if len(records) == 0 {
-		return fmt.Errorf("T11 rendered an empty table")
+		return fmt.Errorf("%s rendered an empty table", id)
 	}
 	report := struct {
 		Experiment string     `json:"experiment"`
@@ -174,7 +181,7 @@ func runFaultBench(path string, quick bool, seed int64) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "dtmbench: T11 fault sweep (%d rows) written to %s\n", len(report.Rows), path)
+	fmt.Fprintf(os.Stderr, "dtmbench: %s (%d rows) written to %s\n", id, len(report.Rows), path)
 	return nil
 }
 

@@ -9,6 +9,12 @@
 //	dtmsim -topology cluster -alpha 8 -beta 8 -gamma 8 -sched distributed -metrics
 //	dtmsim -topology hypercube -dim 6 -sched coordinator -trace run.json
 //	dtmsim -sched greedy -metrics -events run.jsonl
+//
+// Open-system streaming mode (-stream) replaces the finite workload with a
+// generative arrival source pulled lazily by the bounded-memory driver:
+//
+//	dtmsim -topology clique -n 64 -sched greedy -stream poisson -rate 2 -arrivals 100000
+//	dtmsim -topology star -alpha 4095 -beta 1 -stream poisson -arrivals 10000000 -assertflat
 package main
 
 import (
@@ -46,6 +52,14 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "collect run metrics and print a JSON report")
 		events   = flag.String("events", "", "stream observability events as JSON lines to this file")
 
+		// Open-system streaming mode.
+		stream     = flag.String("stream", "", "streaming source: poisson|bursty (replaces -arrival/-rounds with an open-system run)")
+		rate       = flag.Float64("rate", 1, "stream: mean arrivals per step, system-wide (λ)")
+		arrivals   = flag.Int64("arrivals", 1_000_000, "stream: total arrivals to pull")
+		burst      = flag.Int("burst", 8, "stream: arrivals per burst (bursty source)")
+		assertflat = flag.Bool("assertflat", false, "stream: exit non-zero unless the queue and live window plateau")
+		progress   = flag.Int64("progress", 0, "stream: report progress on stderr every N arrivals (0 = off)")
+
 		// Fault injection (distributed scheduler only).
 		drop      = flag.Float64("drop", 0, "fault injection: per-message drop probability (distributed only)")
 		dup       = flag.Float64("dup", 0, "fault injection: per-message duplication probability (distributed only)")
@@ -61,6 +75,8 @@ func main() {
 		arrival: *arrival, period: *period, seed: *seed, hub: *hub,
 		capacity: *capacity, traceOut: *traceOut, csv: *csv,
 		metrics: *metrics, eventsOut: *events,
+		stream: *stream, rate: *rate, arrivals: *arrivals, burst: *burst,
+		assertflat: *assertflat, progress: *progress,
 		drop: *drop, dup: *dup, jitter: *jitter, crash: *crash, faultseed: *faultseed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dtmsim:", err)
@@ -82,6 +98,12 @@ type params struct {
 	csv                       bool
 	metrics                   bool
 	eventsOut                 string
+	stream                    string
+	rate                      float64
+	arrivals                  int64
+	burst                     int
+	assertflat                bool
+	progress                  int64
 	drop, dup                 float64
 	jitter, faultseed         int64
 	crash                     string
@@ -150,10 +172,51 @@ func arrivalKind(s string) (dtm.WorkloadConfig, error) {
 	return cfg, nil
 }
 
+// buildScheduler constructs one of the centralized schedulers (the
+// distributed protocol has its own driver and is handled separately).
+func buildScheduler(p params) (dtm.Scheduler, error) {
+	switch p.sched {
+	case "greedy":
+		return dtm.NewGreedy(dtm.GreedyOptions{}), nil
+	case "greedy-uniform":
+		return dtm.NewGreedy(dtm.GreedyOptions{Uniform: true}), nil
+	case "coordinator":
+		return dtm.NewCoordinator(dtm.NodeID(p.hub), dtm.GreedyOptions{}), nil
+	case "bucket-tour":
+		return dtm.NewBucket(dtm.BucketOptions{Batch: dtm.TourBatch()}), nil
+	case "bucket-coloring":
+		return dtm.NewBucket(dtm.BucketOptions{Batch: dtm.ColoringBatch()}), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", p.sched)
+	}
+}
+
+// openMetrics builds the shared observability registry when -metrics or
+// -events asks for one; the returned closer flushes the event sink file.
+func openMetrics(p params) (*dtm.Metrics, func() error, error) {
+	noop := func() error { return nil }
+	if !p.metrics && p.eventsOut == "" {
+		return nil, noop, nil
+	}
+	m := dtm.NewMetrics()
+	if p.eventsOut == "" {
+		return m, noop, nil
+	}
+	f, err := os.Create(p.eventsOut)
+	if err != nil {
+		return nil, noop, err
+	}
+	m.SetSink(dtm.NewJSONLSink(f))
+	return m, f.Close, nil
+}
+
 func run(p params) error {
 	g, err := buildGraph(p)
 	if err != nil {
 		return err
+	}
+	if p.stream != "" {
+		return runStream(p, g)
 	}
 	cfg, err := arrivalKind(p.arrival)
 	if err != nil {
@@ -186,18 +249,11 @@ func run(p params) error {
 
 	// One registry covers whichever driver runs below; -events implies
 	// collection so the sink has something to stream.
-	var m *dtm.Metrics
-	if p.metrics || p.eventsOut != "" {
-		m = dtm.NewMetrics()
-		if p.eventsOut != "" {
-			f, err := os.Create(p.eventsOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			m.SetSink(dtm.NewJSONLSink(f))
-		}
+	m, closeSink, err := openMetrics(p)
+	if err != nil {
+		return err
 	}
+	defer closeSink()
 	report := func(snap *dtm.MetricsSnapshot) error {
 		if !p.metrics {
 			return nil
@@ -238,20 +294,9 @@ func run(p params) error {
 		return fmt.Errorf("fault injection (-drop/-dup/-jitter/-crash) requires -sched distributed")
 	}
 
-	var s dtm.Scheduler
-	switch p.sched {
-	case "greedy":
-		s = dtm.NewGreedy(dtm.GreedyOptions{})
-	case "greedy-uniform":
-		s = dtm.NewGreedy(dtm.GreedyOptions{Uniform: true})
-	case "coordinator":
-		s = dtm.NewCoordinator(dtm.NodeID(p.hub), dtm.GreedyOptions{})
-	case "bucket-tour":
-		s = dtm.NewBucket(dtm.BucketOptions{Batch: dtm.TourBatch()})
-	case "bucket-coloring":
-		s = dtm.NewBucket(dtm.BucketOptions{Batch: dtm.ColoringBatch()})
-	default:
-		return fmt.Errorf("unknown scheduler %q", p.sched)
+	s, err := buildScheduler(p)
+	if err != nil {
+		return err
 	}
 	runOpts := dtm.RunOptions{Obs: m}
 	if p.capacity > 0 {
@@ -286,4 +331,121 @@ func run(p params) error {
 		fmt.Printf("trace written to %s (re-validated)\n", p.traceOut)
 	}
 	return report(rr.Metrics)
+}
+
+// progressSource wraps a stream source and reports pull progress on
+// stderr every `every` arrivals, so multi-minute soak runs stay visibly
+// alive without perturbing the deterministic arrival sequence.
+type progressSource struct {
+	src   dtm.Source
+	every int64
+	n     int64
+}
+
+func (ps *progressSource) Next() (dtm.SourceArrival, bool) {
+	a, ok := ps.src.Next()
+	if ok {
+		ps.n++
+		if ps.n%ps.every == 0 {
+			fmt.Fprintf(os.Stderr, "dtmsim: %d arrivals pulled (t=%d)\n", ps.n, a.At)
+		}
+	}
+	return a, ok
+}
+
+// assertFlat is the soak acceptance check: on a stable open-system run
+// both the in-flight queue and the engine's live window plateau, so the
+// second-half peak must stay within a doubling (plus slack for a short
+// warmup) of the first-half peak. A leak or an over-critical arrival
+// rate grows them linearly and trips this.
+func assertFlat(res *dtm.StreamResult) error {
+	check := func(name string, first, second int64) error {
+		if second > 2*first+64 {
+			return fmt.Errorf("assertflat: %s grew from %d (first half) to %d (second half) — queue diverging or window leaking", name, first, second)
+		}
+		return nil
+	}
+	if err := check("queue peak", res.QueuePeakFirstHalf, res.QueuePeakSecondHalf); err != nil {
+		return err
+	}
+	return check("live-window peak", res.WindowPeakFirstHalf, res.WindowPeakSecondHalf)
+}
+
+// runStream drives the open-system mode: a generative arrival source
+// pulled lazily by the bounded-memory streaming driver.
+func runStream(p params, g *dtm.Graph) error {
+	if p.sched == "distributed" {
+		return fmt.Errorf("-stream supports the centralized schedulers only")
+	}
+	if p.capacity > 0 || p.traceOut != "" {
+		return fmt.Errorf("-capacity and -trace are not supported with -stream")
+	}
+	numObjects := p.objects
+	if numObjects == 0 {
+		numObjects = g.N()
+	}
+	cfg := dtm.StreamConfig{K: p.k, NumObjects: numObjects, Rate: p.rate, Burst: p.burst, Seed: p.seed}
+	var src dtm.Source
+	var err error
+	switch p.stream {
+	case "poisson":
+		src, err = dtm.NewPoissonSource(g, cfg)
+	case "bursty":
+		src, err = dtm.NewBurstySource(g, cfg)
+	default:
+		err = fmt.Errorf("unknown stream source %q (want poisson or bursty)", p.stream)
+	}
+	if err != nil {
+		return err
+	}
+	if p.progress > 0 {
+		src = &progressSource{src: src, every: p.progress}
+	}
+	s, err := buildScheduler(p)
+	if err != nil {
+		return err
+	}
+	m, closeSink, err := openMetrics(p)
+	if err != nil {
+		return err
+	}
+	defer closeSink()
+
+	res, err := dtm.RunStream(g, dtm.UniformObjects(g, numObjects, p.seed), src, s,
+		dtm.StreamOptions{Obs: m, MaxArrivals: p.arrivals})
+	if err != nil {
+		return err
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("dtmsim -stream %s: %s, λ=%g, %d arrivals", p.stream, g, p.rate, res.Arrivals),
+		"scheduler", "completed", "makespan", "p50 sojourn", "p95", "p99", "max",
+		"queue peak 1st/2nd half", "window peak 1st/2nd half", "retired")
+	t.AddRow(res.Scheduler, fmt.Sprint(res.Completed), fmt.Sprint(res.Makespan),
+		fmt.Sprint(res.SojournP50), fmt.Sprint(res.SojournP95), fmt.Sprint(res.SojournP99),
+		fmt.Sprint(res.MaxSojourn),
+		fmt.Sprintf("%d/%d", res.QueuePeakFirstHalf, res.QueuePeakSecondHalf),
+		fmt.Sprintf("%d/%d", res.WindowPeakFirstHalf, res.WindowPeakSecondHalf),
+		fmt.Sprint(res.Retired))
+	if p.csv {
+		if err := t.RenderCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if p.metrics {
+		if err := res.Metrics.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if p.assertflat {
+		if err := assertFlat(res); err != nil {
+			return err
+		}
+		fmt.Printf("assertflat: ok — queue peak %d/%d, window peak %d/%d (1st/2nd half)\n",
+			res.QueuePeakFirstHalf, res.QueuePeakSecondHalf,
+			res.WindowPeakFirstHalf, res.WindowPeakSecondHalf)
+	}
+	return nil
 }

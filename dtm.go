@@ -309,26 +309,71 @@ func Replay(in *Instance, decisions []Decision, opts SimOptions) (*core.Result, 
 	return core.Replay(in, decisions, opts)
 }
 
-// ResultErr returns the run's failure error, or nil.
-//
-// Deprecated: the core.Result.Err field it used to forward was removed;
-// read RunResult.Err (or the error return of Replay) directly. This
-// facade accessor remains for one release.
-func ResultErr(rr *RunResult) error {
-	if rr == nil {
-		return nil
-	}
-	return rr.Err
-}
-
 // ClosedLoopConfig configures RunClosedLoop.
 type ClosedLoopConfig = sched.ClosedLoopConfig
 
 // RunClosedLoop drives a scheduler under the paper's exact Section III-C
 // issuing process: each node issues its next transaction one step after
-// the previous one commits.
+// the previous one commits. It runs on the same drive core as RunStream —
+// the closed loop is a Source whose next arrival is gated on commits.
 func RunClosedLoop(g *Graph, cfg ClosedLoopConfig, s Scheduler, opts RunOptions) (*RunResult, *Instance, error) {
 	return sched.RunClosedLoop(g, cfg, s, opts)
+}
+
+// Open-system streaming types: arrivals pulled lazily from a Source
+// instead of a materialized Instance, driven by RunStream with bounded
+// engine memory (committed transactions retire from the live window).
+type (
+	// Source produces arrivals lazily in non-decreasing time order.
+	Source = workload.Source
+	// SourceArrival is one streamed transaction request.
+	SourceArrival = workload.Arrival
+	// StreamConfig parameterizes the generative sources.
+	StreamConfig = workload.StreamConfig
+	// StreamOptions configure a RunStream run.
+	StreamOptions = sched.StreamOptions
+	// StreamResult summarizes an open-system streaming run: arrival and
+	// completion counts, sojourn-latency percentiles, queue-length and
+	// live-window peaks (split into run halves — the stability signal).
+	StreamResult = sched.StreamResult
+)
+
+// NewPoissonSource returns an endless memoryless source: system-wide
+// arrivals at rate cfg.Rate per step, uniform over issuing nodes, object
+// sets from the configured popularity distribution (seeded,
+// deterministic).
+func NewPoissonSource(g *Graph, cfg StreamConfig) (Source, error) {
+	return workload.NewPoissonSource(g, cfg)
+}
+
+// NewBurstySource returns an endless adversarial source: every
+// max(1, round(Burst/Rate)) steps it releases Burst simultaneous arrivals
+// on a rotating contiguous node block, holding the long-run rate at
+// cfg.Rate while maximizing instantaneous contention.
+func NewBurstySource(g *Graph, cfg StreamConfig) (Source, error) {
+	return workload.NewBurstySource(g, cfg)
+}
+
+// NewInstanceSource adapts a finite instance into a Source: its
+// transactions stream out in (arrival, ID) order and the source exhausts
+// after the last one. The finite API is one case of the streaming one:
+//
+//	rr, _ := dtm.RunStream(in.G, in.Objects, dtm.NewInstanceSource(in), s, dtm.StreamOptions{})
+func NewInstanceSource(in *Instance) Source { return workload.NewInstanceSource(in) }
+
+// UniformObjects places num objects at seeded uniform-random origins — the
+// object set to pass RunStream alongside a generative source.
+func UniformObjects(g *Graph, num int, seed int64) []*Object {
+	return workload.UniformObjects(g, num, seed)
+}
+
+// RunStream drives a scheduler against a streaming source: arrivals are
+// pulled lazily as simulated time reaches them, committed transactions
+// retire from the engine window (unless opts.KeepHistory), and
+// queue-length, sojourn-latency, and live-state series are recorded
+// through the obs registry. Endless sources require opts.MaxArrivals.
+func RunStream(g *Graph, objects []*Object, src Source, s Scheduler, opts StreamOptions) (*StreamResult, error) {
+	return sched.RunStream(g, objects, src, s, opts)
 }
 
 // CaptureTrace records a finished run as a serializable, re-validatable

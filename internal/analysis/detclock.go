@@ -41,11 +41,13 @@ var forbiddenTimeFuncs = map[string]bool{
 	"NewTicker": true, "NewTimer": true,
 }
 
-// allowedRandFuncs are the math/rand package-level constructors that bind
-// an explicit seed; everything else at package level draws from the
-// global source.
+// allowedRandFuncs are the math/rand and math/rand/v2 package-level
+// constructors that bind an explicit seed — the pattern the streaming
+// workload generators (workload.NewPoissonSource and friends) follow;
+// everything else at package level draws from the global source.
 var allowedRandFuncs = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
 }
 
 func runDetclock(pass *Pass) error {

@@ -4,6 +4,7 @@ package detclock
 
 import (
 	"math/rand"
+	randv2 "math/rand/v2"
 	"time"
 )
 
@@ -27,6 +28,35 @@ func globalRand() int {
 func seeded(seed int64) int {
 	rng := rand.New(rand.NewSource(seed))
 	return rng.Intn(10)
+}
+
+// newArrivalSource mirrors the streaming workload generator constructors
+// (workload.NewPoissonSource and friends): the constructor binds a seed
+// once and every later draw goes through the seeded generator's methods,
+// so nothing here is a finding.
+func newArrivalSource(seed int64) func() float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return func() float64 { return rng.ExpFloat64() }
+}
+
+// globalArrivals is the broken version of the same generator: package-
+// level draws come from the unseeded global source, so two runs of one
+// instance diverge.
+func globalArrivals() float64 {
+	return rand.ExpFloat64() // want `global math/rand source via rand\.ExpFloat64`
+}
+
+// seededV2 uses the math/rand/v2 seeded constructors, which are equally
+// deterministic: allowed.
+func seededV2(seed uint64) int {
+	rng := randv2.New(randv2.NewPCG(seed, seed))
+	chacha := randv2.New(randv2.NewChaCha8([32]byte{byte(seed)}))
+	return rng.IntN(10) + chacha.IntN(10)
+}
+
+// globalV2 draws from math/rand/v2's global source: still a finding.
+func globalV2() int {
+	return randv2.IntN(10) // want `global math/rand source via rand\.IntN`
 }
 
 // simTime advances simulated time, which is the sanctioned clock.

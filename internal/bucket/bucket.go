@@ -459,7 +459,9 @@ func (b *Bucket) resolveAvail(o core.ObjID) batch.Avail {
 	sim := b.env.Sim
 	now := b.availAt
 	if lastTx, lastExec, ok := sim.LastUser(o); ok {
-		return batch.Avail{Node: sim.Instance().Txns[lastTx].Node, Free: lastExec}
+		// LastUser only reports pending (undone) transactions, which are
+		// always inside the live window — Txn cannot return nil here.
+		return batch.Avail{Node: sim.Txn(lastTx).Node, Free: lastExec}
 	}
 	obj := sim.Instance().Objects[o]
 	if obj.Created > now {

@@ -173,13 +173,24 @@ type Sim struct {
 	in   *Instance
 	opts SimOptions
 
-	now       Time
-	objs      []objState
-	exec      []Time // per tx; -1 = undecided
-	decidedAt []Time // per tx; -1 = undecided
+	now  Time
+	objs []objState
+	// base counts retired transactions: every TxID < base committed and
+	// was dropped by RetireDone, so in.Txns and the per-tx slices below
+	// are windows holding TxIDs [base, base+len). base stays 0 unless a
+	// streaming driver opts into retirement.
+	base      int
+	exec      []Time // per live-window tx; -1 = undecided
+	decidedAt []Time // per live-window tx; -1 = undecided
 	done      []bool
 	doneAt    []Time // actual execution time (== exec unless ElasticExec)
-	doneCount int
+	doneCount int    // transactions ever committed, including retired ones
+
+	// Running commit aggregates, maintained across retirement (Result
+	// covers only the live window once transactions retire).
+	commitMakespan Time
+	commitMaxLat   Time
+	commitSumLat   Time
 
 	events *pq.Heap[event]
 	seq    int
@@ -246,6 +257,29 @@ func (s *Sim) push(e event) {
 	s.events.Push(e)
 }
 
+// w maps a transaction ID into the live window. Callers must have checked
+// that tx has not retired (tx >= base).
+func (s *Sim) w(tx TxID) int { return int(tx) - s.base }
+
+// txn returns the live-window transaction for tx.
+func (s *Sim) txn(tx TxID) *Transaction { return s.in.Txns[int(tx)-s.base] }
+
+// totalTxns is the number of transactions ever known: retired + live window.
+func (s *Sim) totalTxns() int { return s.base + len(s.in.Txns) }
+
+// Txn returns the transaction with ID tx, or nil if tx is out of range or
+// has retired from the live window. Schedulers must use this instead of
+// indexing Instance().Txns by ID — the window shifts under retirement —
+// and may only look up transactions they still track as live (pending
+// object users, unpruned conflicts): retired transactions are freed.
+func (s *Sim) Txn(tx TxID) *Transaction {
+	i := int(tx) - s.base
+	if i < 0 || i >= len(s.in.Txns) {
+		return nil
+	}
+	return s.in.Txns[i]
+}
+
 // Now returns the current simulation time.
 func (s *Sim) Now() Time { return s.now }
 
@@ -260,8 +294,8 @@ func (s *Sim) AddTransaction(tx *Transaction) error {
 	if tx == nil {
 		return fmt.Errorf("core: AddTransaction: nil transaction")
 	}
-	if tx.ID != TxID(len(s.in.Txns)) {
-		return fmt.Errorf("core: AddTransaction: ID %d, want next dense ID %d", tx.ID, len(s.in.Txns))
+	if tx.ID != TxID(s.totalTxns()) {
+		return fmt.Errorf("core: AddTransaction: ID %d, want next dense ID %d", tx.ID, s.totalTxns())
 	}
 	if tx.Node < 0 || int(tx.Node) >= s.in.G.N() {
 		return fmt.Errorf("core: AddTransaction: node %d out of range", tx.Node)
@@ -299,21 +333,25 @@ func (s *Sim) Decide(tx TxID, exec Time) error {
 	if s.failed != nil {
 		return s.failed
 	}
-	if tx < 0 || int(tx) >= len(s.in.Txns) {
+	if tx < 0 || int(tx) >= s.totalTxns() {
 		return fmt.Errorf("core: Decide: unknown transaction %d", tx)
 	}
-	if s.exec[tx] >= 0 {
-		return fmt.Errorf("core: Decide: transaction %d already scheduled for t=%d", tx, s.exec[tx])
+	if int(tx) < s.base {
+		return fmt.Errorf("core: Decide: transaction %d already retired", tx)
+	}
+	i := s.w(tx)
+	if s.exec[i] >= 0 {
+		return fmt.Errorf("core: Decide: transaction %d already scheduled for t=%d", tx, s.exec[i])
 	}
 	if exec < s.now {
 		return fmt.Errorf("core: Decide: transaction %d execution t=%d is before now t=%d", tx, exec, s.now)
 	}
-	t := s.in.Txns[tx]
+	t := s.in.Txns[i]
 	if exec < t.Arrival {
 		return fmt.Errorf("core: Decide: transaction %d execution t=%d precedes arrival t=%d", tx, exec, t.Arrival)
 	}
-	s.exec[tx] = exec
-	s.decidedAt[tx] = s.now
+	s.exec[i] = exec
+	s.decidedAt[i] = s.now
 	s.met.decisions.Inc()
 	s.met.live.Add(1)
 	if s.obs != nil {
@@ -335,7 +373,7 @@ func (s *Sim) Decide(tx TxID, exec Time) error {
 func (s *Sim) insertPending(o ObjID, tx TxID) {
 	p := s.objs[o].pending
 	i := 0
-	for i < len(p) && (s.exec[p[i]] < s.exec[tx] || (s.exec[p[i]] == s.exec[tx] && p[i] < tx)) {
+	for i < len(p) && (s.exec[s.w(p[i])] < s.exec[s.w(tx)] || (s.exec[s.w(p[i])] == s.exec[s.w(tx)] && p[i] < tx)) {
 		i++
 	}
 	p = append(p, 0)
@@ -425,7 +463,7 @@ type execVerdict struct {
 }
 
 func (s *Sim) checkTx(tx TxID) execVerdict {
-	t := s.in.Txns[tx]
+	t := s.txn(tx)
 	for _, o := range t.Objects {
 		os := &s.objs[o]
 		switch {
@@ -477,20 +515,30 @@ func (s *Sim) execPhase() error {
 }
 
 func (s *Sim) commitTx(tx TxID) {
-	for _, o := range s.in.Txns[tx].Objects {
+	t := s.txn(tx)
+	for _, o := range t.Objects {
 		s.removePending(o, tx)
 		s.dirty[o] = true
 	}
-	s.done[tx] = true
-	s.doneAt[tx] = s.now
+	i := s.w(tx)
+	s.done[i] = true
+	s.doneAt[i] = s.now
 	s.doneCount++
 	delete(s.due, tx)
+	lat := s.now - t.Arrival
+	if s.now > s.commitMakespan {
+		s.commitMakespan = s.now
+	}
+	if lat > s.commitMaxLat {
+		s.commitMaxLat = lat
+	}
+	s.commitSumLat += lat
 	s.met.commits.Inc()
 	s.met.live.Add(-1)
-	s.met.latency.Observe(int64(s.now - s.in.Txns[tx].Arrival))
+	s.met.latency.Observe(int64(lat))
 	if s.obs != nil {
 		s.obs.Emit(obs.Event{At: int64(s.now), Kind: "commit", Tx: int(tx),
-			Node: int(s.in.Txns[tx].Node), Value: int64(s.now - s.in.Txns[tx].Arrival)})
+			Node: int(t.Node), Value: int64(lat)})
 	}
 }
 
@@ -517,7 +565,7 @@ func (s *Sim) attemptDue() {
 }
 
 func (s *Sim) allPresent(tx TxID) bool {
-	t := s.in.Txns[tx]
+	t := s.txn(tx)
 	for _, o := range t.Objects {
 		os := &s.objs[o]
 		if !os.exists || os.inTransit || os.at != t.Node {
@@ -584,7 +632,7 @@ func (s *Sim) planDispatch(o ObjID) dispatchPlan {
 	if !os.exists || os.inTransit || os.queued || len(os.pending) == 0 {
 		return p
 	}
-	target := s.in.Txns[os.pending[0]].Node
+	target := s.txn(os.pending[0]).Node
 	if os.at == target {
 		return p // wait at the requester until it executes
 	}
@@ -665,32 +713,102 @@ func (s *Sim) ObjDistTo(o ObjID, x graph.NodeID) graph.Weight {
 }
 
 // Executed returns the actual execution time of tx, if it has executed
-// (equal to the decided time except under ElasticExec).
+// (equal to the decided time except under ElasticExec). A retired
+// transaction reports executed with a zero time — retirement drops the
+// per-transaction record; callers that need exact times must query before
+// RetireDone (no driver retires transactions it still interrogates).
 func (s *Sim) Executed(tx TxID) (Time, bool) {
-	if s.done[tx] {
-		return s.doneAt[tx], true
+	if int(tx) < s.base {
+		return 0, true
+	}
+	i := s.w(tx)
+	if s.done[i] {
+		return s.doneAt[i], true
 	}
 	return 0, false
 }
 
-// Scheduled returns the decided execution time of tx, if any.
+// Scheduled returns the decided execution time of tx, if any. Retired
+// transactions report scheduled with a zero time (see Executed).
 func (s *Sim) Scheduled(tx TxID) (Time, bool) {
-	if s.exec[tx] >= 0 {
-		return s.exec[tx], true
+	if int(tx) < s.base {
+		return 0, true
+	}
+	if i := s.w(tx); s.exec[i] >= 0 {
+		return s.exec[i], true
 	}
 	return 0, false
 }
 
 // DecidedAt returns the time at which tx's execution time was decided.
+// Retired transactions report decided with a zero time (see Executed).
 func (s *Sim) DecidedAt(tx TxID) (Time, bool) {
-	if s.decidedAt[tx] >= 0 {
-		return s.decidedAt[tx], true
+	if int(tx) < s.base {
+		return 0, true
+	}
+	if i := s.w(tx); s.decidedAt[i] >= 0 {
+		return s.decidedAt[i], true
 	}
 	return 0, false
 }
 
 // AllExecuted reports whether every transaction has executed.
-func (s *Sim) AllExecuted() bool { return s.doneCount == len(s.in.Txns) }
+func (s *Sim) AllExecuted() bool { return s.doneCount == s.totalTxns() }
+
+// RetireDone drops the longest committed prefix of the transaction window
+// — the bounded-memory lever for streaming runs. It retires only when the
+// prefix has at least min entries (batching keeps the shifts amortized
+// O(1) per transaction) and returns how many it retired. Retired
+// transactions vanish from the window (and from in.Txns — the driver owns
+// the instance in streaming mode): Result no longer covers them, and
+// Executed/Scheduled/DecidedAt degrade to existence answers. The running
+// CommitStats and TotalComm aggregates are unaffected.
+func (s *Sim) RetireDone(min int) int {
+	if min < 1 {
+		min = 1
+	}
+	k := 0
+	for k < len(s.done) && s.done[k] {
+		k++
+	}
+	if k < min {
+		return 0
+	}
+	s.base += k
+	n := copy(s.in.Txns, s.in.Txns[k:])
+	for i := n; i < len(s.in.Txns); i++ {
+		s.in.Txns[i] = nil // release the Transaction for collection
+	}
+	s.in.Txns = s.in.Txns[:n]
+	s.exec = s.exec[:copy(s.exec, s.exec[k:])]
+	s.decidedAt = s.decidedAt[:copy(s.decidedAt, s.decidedAt[k:])]
+	s.done = s.done[:copy(s.done, s.done[k:])]
+	s.doneAt = s.doneAt[:copy(s.doneAt, s.doneAt[k:])]
+	return k
+}
+
+// LiveWindow reports the retirement state: how many transactions have been
+// retired and how many remain in the live window.
+func (s *Sim) LiveWindow() (retired, window int) {
+	return s.base, len(s.in.Txns)
+}
+
+// CommitStats returns the running commit aggregates over every transaction
+// ever committed — unlike Result, they survive retirement: the number of
+// commits, the largest commit time, and the max and sum of commit
+// latencies.
+func (s *Sim) CommitStats() (count int, makespan, maxLat, sumLat Time) {
+	return s.doneCount, s.commitMakespan, s.commitMaxLat, s.commitSumLat
+}
+
+// TotalComm returns the total distance traveled by all objects so far.
+func (s *Sim) TotalComm() graph.Weight {
+	var w graph.Weight
+	for i := range s.objs {
+		w += s.objs[i].traveled
+	}
+	return w
+}
 
 // Failed returns the error that stopped the run, or nil while the run is
 // healthy. It replaces the removed Result.Err field.
@@ -705,7 +823,7 @@ func (s *Sim) LastUser(o ObjID) (TxID, Time, bool) {
 		return 0, 0, false
 	}
 	tx := p[len(p)-1]
-	return tx, s.exec[tx], true
+	return tx, s.exec[s.w(tx)], true
 }
 
 // Result summarizes a completed (or failed) run. It carries numbers
@@ -729,7 +847,9 @@ func (r *Result) MeanLat() float64 {
 }
 
 // Result summarizes the run so far. Call after AllExecuted (or after an
-// error) for final numbers.
+// error) for final numbers. Once transactions have retired (RetireDone)
+// the result covers only the live window, indexed from the retirement
+// base; streaming drivers use CommitStats/TotalComm instead.
 func (s *Sim) Result() *Result {
 	r := &Result{Latency: make([]Time, len(s.in.Txns))}
 	for i, t := range s.in.Txns {
@@ -762,7 +882,7 @@ func (s *Sim) RunToCompletion() error {
 		next, ok := s.NextInternalEvent()
 		if !ok {
 			return fmt.Errorf("core: simulation stuck at t=%d with %d/%d transactions executed (undecided transactions?)",
-				s.now, s.doneCount, len(s.in.Txns))
+				s.now, s.doneCount, s.totalTxns())
 		}
 		if err := s.AdvanceTo(next); err != nil {
 			return err

@@ -1,0 +1,132 @@
+package experiments
+
+// T14 — the open-system stability frontier. The paper analyzes one-shot
+// and closed-loop workloads; the streaming driver asks the queueing
+// question instead: up to which Poisson arrival rate λ does each engine
+// keep the in-flight queue bounded on each topology? Each cell bisects
+// λ* — the largest stable rate — where "stable" means the second-half
+// queue peak stays within a doubling of the first-half peak (an unstable
+// queue grows linearly, so the halves separate cleanly). The sojourn p95
+// and peak queue at λ* characterize service at the frontier.
+
+import (
+	"fmt"
+
+	"dtm/internal/graph"
+	"dtm/internal/obs"
+	"dtm/internal/runner"
+	"dtm/internal/sched"
+	"dtm/internal/stats"
+	"dtm/internal/workload"
+)
+
+// streamStable is T14's stability criterion: a bounded queue's
+// second-half peak plateaus near the first-half peak, while a divergent
+// queue grows at least linearly — which puts the second-half peak at 2x
+// the first-half peak — so a 1.5x threshold separates the two regimes
+// with margin on both sides.
+func streamStable(res *sched.StreamResult) bool {
+	return 2*res.QueuePeakSecondHalf <= 3*res.QueuePeakFirstHalf+32
+}
+
+func table14StreamStability(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("Table 14 — open-system stability frontier (bisected λ*, Poisson arrivals, K=2)",
+		"graph", "scheduler", "λ*", "±", "p95 sojourn @λ*", "queue peak @λ*", "retired @λ*")
+	arrivals := int64(5000)
+	iters := 8
+	if cfg.Quick {
+		arrivals = 600
+		iters = 6
+	}
+	type setting struct {
+		mkGraph func() (*graph.Graph, error)
+		mkSched func() sched.Scheduler
+		sname   string
+	}
+	var settings []setting
+	mkLine := func() (*graph.Graph, error) {
+		if cfg.Quick {
+			return graph.Line(16)
+		}
+		return graph.Line(64)
+	}
+	mkCluster := func() (*graph.Graph, error) {
+		if cfg.Quick {
+			return graph.Cluster(graph.ClusterSpec{Alpha: 2, Beta: 4, Gamma: 4})
+		}
+		return graph.Cluster(graph.ClusterSpec{Alpha: 3, Beta: 8, Gamma: 8})
+	}
+	for _, mg := range []func() (*graph.Graph, error){mkLine, mkCluster} {
+		settings = append(settings,
+			setting{mg, newGreedy, newGreedy().Name()},
+			setting{mg, newBucketTour, newBucketTour().Name()})
+	}
+	var points []runner.Point
+	for _, st := range settings {
+		g, err := st.mkGraph()
+		if err != nil {
+			return nil, err
+		}
+		mkSched := st.mkSched
+		sname := st.sname
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{{
+				Name: fmt.Sprintf("%s/%s", g.Name(), sname),
+				Run: func(seed int64, m *obs.Metrics) (runner.Outcome, error) {
+					probe := func(rate float64) (*sched.StreamResult, error) {
+						src, err := workload.NewPoissonSource(g, workload.StreamConfig{
+							K: 2, NumObjects: g.N(), Rate: rate, Seed: seed,
+						})
+						if err != nil {
+							return nil, err
+						}
+						return sched.RunStream(g, workload.UniformObjects(g, g.N(), seed),
+							src, mkSched(), sched.StreamOptions{Obs: m, MaxArrivals: arrivals})
+					}
+					// Bisect the largest stable λ in [1/64, 16]: lo tracks the
+					// last stable probe, hi the last unstable one. The floor
+					// is far below any engine's service rate; a λ* reported
+					// at the ceiling means the frontier lies beyond it.
+					lo, hi := 1.0/64, 16.0
+					best, err := probe(lo)
+					if err != nil {
+						return runner.Outcome{}, err
+					}
+					if !streamStable(best) {
+						return runner.Outcome{}, fmt.Errorf("t14: %s unstable even at λ=%g", sname, lo)
+					}
+					rate := lo
+					for i := 0; i < iters; i++ {
+						mid := (lo + hi) / 2
+						res, err := probe(mid)
+						if err != nil {
+							return runner.Outcome{}, err
+						}
+						if streamStable(res) {
+							lo, rate, best = mid, mid, res
+						} else {
+							hi = mid
+						}
+					}
+					return runner.Outcome{
+						MaxLat:  float64(best.MaxSojourn),
+						MeanLat: best.MeanSojourn,
+						Extra: map[string]float64{
+							"lambda":  rate,
+							"p95":     float64(best.SojournP95),
+							"queue":   float64(best.QueuePeak),
+							"retired": float64(best.Retired),
+						},
+					}, nil
+				},
+			}},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				c := cs[0]
+				return []string{g.Name(), sname,
+					c.F("%.3f", c.X("lambda").Mean), c.Spread(c.X("lambda")),
+					c.Int(c.X("p95")), c.Int(c.X("queue")), c.Int(c.X("retired"))}, nil
+			},
+		})
+	}
+	return runSweep(cfg, cfg.trials(), t, points)
+}

@@ -534,7 +534,6 @@ func (g *Greedy) scheduleRebuild(txns []*core.Transaction, now core.Time) error 
 		seen[pair{a, b}] = true
 		return cg.AddEdge(a, b, w)
 	}
-	in := g.env.Sim.Instance()
 	for _, tx := range txns {
 		tv := newIdx[tx.ID]
 		if hubVertex >= 0 {
@@ -563,7 +562,9 @@ func (g *Greedy) scheduleRebuild(txns []*core.Transaction, now core.Time) error 
 				} else {
 					uv = oldIdx[u]
 				}
-				if err := addEdge(tv, uv, g.conflictWeight(tx.Node, in.Txns[u].Node)); err != nil {
+				// objUsers was pruned of executed transactions above, so u
+				// is live and inside the window — Txn cannot return nil.
+				if err := addEdge(tv, uv, g.conflictWeight(tx.Node, g.env.Sim.Txn(u).Node)); err != nil {
 					return err
 				}
 			}

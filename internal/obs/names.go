@@ -36,6 +36,12 @@ const (
 	NameSchedSnapshotNs   = "sched.snapshot_ns"
 	NameSchedLiveTxns     = "sched.live_txns"
 
+	// streaming (open-system) driver instruments.
+	NameStreamQueueLen   = "stream.queue_len"   // gauge: undecided+unexecuted txns at each delivery
+	NameStreamWindowTxns = "stream.window_txns" // gauge: live window size after retirement
+	NameStreamRetired    = "stream.retired"     // counter: transactions retired from the window
+	NameStreamLiveState  = "stream.live_state"  // gauge: deterministic RSS proxy (window + scheduler live state)
+
 	// greedy scheduler instruments.
 	NameGreedyColorsAssigned = "greedy.colors_assigned"
 	NameGreedyWithinBound    = "greedy.within_bound"
@@ -115,6 +121,10 @@ var registeredNames = []string{
 	NameSchedSnapshotLive,
 	NameSchedSnapshotNs,
 	NameSchedLiveTxns,
+	NameStreamQueueLen,
+	NameStreamWindowTxns,
+	NameStreamRetired,
+	NameStreamLiveState,
 	NameGreedyColorsAssigned,
 	NameGreedyWithinBound,
 	NameGreedyColor,

@@ -420,6 +420,41 @@ type HistogramValue struct {
 	Max    int64   `json:"max"`
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucketed
+// counts: the upper bound of the bucket holding the nearest-rank
+// observation, clamped to the observed Min/Max. The overflow bucket
+// reports Max. Returns 0 for an empty histogram.
+func (hv HistogramValue) Quantile(q float64) int64 {
+	if hv.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(hv.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > hv.Count {
+		rank = hv.Count
+	}
+	var seen int64
+	for i, c := range hv.Counts {
+		seen += c
+		if seen >= rank {
+			if i >= len(hv.Bounds) { // overflow bucket
+				return hv.Max
+			}
+			b := hv.Bounds[i]
+			if b > hv.Max {
+				b = hv.Max
+			}
+			if b < hv.Min {
+				b = hv.Min
+			}
+			return b
+		}
+	}
+	return hv.Max
+}
+
 // Snapshot is a point-in-time export of every registered instrument.
 type Snapshot struct {
 	Counters   map[string]int64          `json:"counters"`

@@ -27,9 +27,101 @@ type ClosedLoopConfig struct {
 	Nodes int
 }
 
-// RunClosedLoop drives a scheduler under the closed-loop process and
-// returns the usual run result — snapshots taken at every distinct issue
-// time — together with the instance that the process generated.
+// clWaiter is one in-flight closed-loop transaction: the stream watches it
+// for execution to mint the node's next arrival.
+type clWaiter struct {
+	id   core.TxID
+	node graph.NodeID
+}
+
+// closedLoopStream is the feedback arrivalStream: the next arrival of a
+// node exists only once its previous transaction commits (one step
+// later), so the drive loop also advances to internal sim events.
+type closedLoopStream struct {
+	sim    *core.Sim
+	gen    func(node graph.NodeID, round int) []core.ObjID
+	rounds int
+	round  []int      // next round to issue per node
+	wait   []clWaiter // in-flight transactions, in issue order
+	// pendIssue maps issue time -> nodes issuing then. issueQ holds the
+	// node-sorted issuers currently being popped at time issueT.
+	pendIssue map[core.Time][]graph.NodeID
+	issueQ    []graph.NodeID
+	issueT    core.Time
+}
+
+func (c *closedLoopStream) peek() (core.Time, bool) {
+	if len(c.issueQ) > 0 {
+		return c.issueT, true
+	}
+	first := true
+	var min core.Time
+	for t := range c.pendIssue {
+		if first || t < min {
+			min, first = t, false
+		}
+	}
+	return min, !first
+}
+
+func (c *closedLoopStream) pop(id core.TxID) (*core.Transaction, error) {
+	if len(c.issueQ) == 0 {
+		t, ok := c.peek()
+		if !ok {
+			return nil, fmt.Errorf("sched: closed loop pop with nothing pending")
+		}
+		c.issueQ = c.pendIssue[t]
+		c.issueT = t
+		delete(c.pendIssue, t)
+		sort.Slice(c.issueQ, func(i, j int) bool { return c.issueQ[i] < c.issueQ[j] })
+	}
+	v := c.issueQ[0]
+	c.issueQ = c.issueQ[1:]
+	tx := &core.Transaction{
+		ID:      id,
+		Node:    v,
+		Arrival: c.issueT,
+		Objects: c.gen(v, c.round[v]),
+	}
+	c.round[v]++
+	c.wait = append(c.wait, clWaiter{id: id, node: v})
+	return tx, nil
+}
+
+// observe scans the in-flight transactions in issue order: a node whose
+// transaction executed issues its next one one step later (clamped to
+// now, since the commit may be discovered late).
+func (c *closedLoopStream) observe() error {
+	now := c.sim.Now()
+	still := c.wait[:0]
+	for _, w := range c.wait {
+		if e, ok := c.sim.Executed(w.id); ok {
+			if c.round[w.node] < c.rounds {
+				at := e + 1
+				if at < now {
+					at = now
+				}
+				c.pendIssue[at] = append(c.pendIssue[at], w.node)
+			}
+		} else {
+			still = append(still, w)
+		}
+	}
+	c.wait = still
+	return nil
+}
+
+func (c *closedLoopStream) exhausted() bool {
+	return len(c.wait) == 0 && len(c.pendIssue) == 0 && len(c.issueQ) == 0
+}
+
+func (c *closedLoopStream) feedback() bool { return true }
+
+// RunClosedLoop drives a scheduler under the closed-loop process — on the
+// same drive core as the streaming driver, with arrivals coming from the
+// commit-gated feedback stream — and returns the usual run result
+// (snapshots taken at every distinct issue time) together with the
+// instance that the process generated.
 func RunClosedLoop(g *graph.Graph, cfg ClosedLoopConfig, s Scheduler, opts Options) (*RunResult, *core.Instance, error) {
 	if cfg.Rounds < 1 {
 		return nil, nil, fmt.Errorf("sched: closed loop needs Rounds >= 1")
@@ -69,139 +161,25 @@ func RunClosedLoop(g *graph.Graph, cfg ClosedLoopConfig, s Scheduler, opts Optio
 		return nil, nil, fmt.Errorf("sched: %s start: %w", s.Name(), err)
 	}
 
-	round := make([]int, nodes) // next round to issue per node
-	waiting := make([]core.TxID, 0, nodes)
-	for v := range round {
-		round[v] = 1
-		waiting = append(waiting, core.TxID(v))
+	stream := &closedLoopStream{
+		sim:       sim,
+		gen:       cfg.Gen,
+		rounds:    cfg.Rounds,
+		round:     make([]int, nodes),
+		wait:      make([]clWaiter, 0, nodes),
+		pendIssue: make(map[core.Time][]graph.NodeID),
 	}
-	// pending issues: time -> nodes issuing then (round 0 is already in
-	// the instance and delivered below).
-	pendIssue := make(map[core.Time][]graph.NodeID)
-
-	var snaps []Snapshot
-	snapEvery := opts.SnapshotEvery
-	if snapEvery == 0 {
-		snapEvery = 1
+	for v := range stream.round {
+		stream.round[v] = 1
+		stream.wait = append(stream.wait, clWaiter{id: core.TxID(v), node: graph.NodeID(v)})
 	}
-	snapCount := 0
 
-	// fail returns the partial result alongside the error, consistently
-	// with the other drivers.
-	fail := func(err error) (*RunResult, *core.Instance, error) {
-		rr := BuildResult(sim, s.Name()+"/closed-loop", snaps, opts.Obs)
+	snaps, err := drive(sim, in, s, stream, dm, driveOpts{snapEvery: opts.SnapshotEvery, obs: opts.Obs})
+	rr := BuildResult(sim, s.Name()+"/closed-loop", snaps, opts.Obs)
+	if err != nil {
 		rr.Failed = true
 		rr.Err = err
 		return rr, in, err
 	}
-	deliver := func(t core.Time, txns []*core.Transaction) error {
-		if snapEvery > 0 && snapCount%snapEvery == 0 {
-			snaps = append(snaps, observedSnapshot(sim, t, opts.Obs, dm))
-		}
-		snapCount++
-		dm.arrivals.Add(int64(len(txns)))
-		return s.OnArrive(txns)
-	}
-	if err := sim.AdvanceTo(0); err != nil {
-		return fail(err)
-	}
-	if err := deliver(0, in.Txns[:nodes]); err != nil {
-		return fail(err)
-	}
-
-	for guard := 0; ; guard++ {
-		if guard > 1<<24 {
-			return fail(fmt.Errorf("sched: closed loop did not converge"))
-		}
-		// Serve due scheduler wakes at the current time.
-		for wg := 0; ; wg++ {
-			if wg > 1<<20 {
-				return fail(fmt.Errorf("sched: %s keeps requesting wake at t=%d without progress", s.Name(), sim.Now()))
-			}
-			w, ok := s.NextWake()
-			if !ok || w > sim.Now() {
-				break
-			}
-			dm.wakeups.Inc()
-			if err := s.OnWake(); err != nil {
-				return fail(err)
-			}
-		}
-		// Finished?
-		if len(waiting) == 0 && len(pendIssue) == 0 {
-			break
-		}
-		// Next event: pending issue, scheduler wake, or sim event.
-		t := core.Time(-1)
-		take := func(x core.Time) {
-			if t < 0 || x < t {
-				t = x
-			}
-		}
-		for it := range pendIssue {
-			take(it)
-		}
-		if w, ok := s.NextWake(); ok {
-			take(w)
-		}
-		if st, ok := sim.NextInternalEvent(); ok {
-			take(st)
-		}
-		if t < 0 {
-			return fail(fmt.Errorf("sched: %s stalled in closed loop at t=%d", s.Name(), sim.Now()))
-		}
-		if err := sim.AdvanceTo(t); err != nil {
-			return fail(err)
-		}
-		// Completions: a node whose transaction executed issues its next
-		// transaction one step later.
-		stillWaiting := waiting[:0]
-		for _, id := range waiting {
-			if e, ok := sim.Executed(id); ok {
-				v := in.Txns[id].Node
-				if round[v] < cfg.Rounds {
-					at := e + 1
-					if at < sim.Now() {
-						at = sim.Now()
-					}
-					pendIssue[at] = append(pendIssue[at], v)
-				}
-			} else {
-				stillWaiting = append(stillWaiting, id)
-			}
-		}
-		waiting = stillWaiting
-		// Issue anything due now.
-		if issuers, ok := pendIssue[t]; ok {
-			delete(pendIssue, t)
-			sort.Slice(issuers, func(i, j int) bool { return issuers[i] < issuers[j] })
-			var newTxns []*core.Transaction
-			for _, v := range issuers {
-				tx := &core.Transaction{
-					ID:      core.TxID(len(in.Txns)),
-					Node:    v,
-					Arrival: t,
-					Objects: cfg.Gen(v, round[v]),
-				}
-				round[v]++
-				if err := sim.AddTransaction(tx); err != nil {
-					return fail(err)
-				}
-				waiting = append(waiting, tx.ID)
-				newTxns = append(newTxns, tx)
-			}
-			if err := deliver(t, newTxns); err != nil {
-				return fail(err)
-			}
-		}
-	}
-	for _, tx := range in.Txns {
-		if _, ok := sim.Scheduled(tx.ID); !ok {
-			return fail(fmt.Errorf("sched: %s never scheduled transaction %d", s.Name(), tx.ID))
-		}
-	}
-	if err := sim.RunToCompletion(); err != nil {
-		return fail(err)
-	}
-	return BuildResult(sim, s.Name()+"/closed-loop", snaps, opts.Obs), in, nil
+	return rr, in, nil
 }

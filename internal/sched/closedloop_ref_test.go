@@ -1,0 +1,184 @@
+package sched
+
+// RunClosedLoopRef is the pre-unification closed-loop driver, frozen
+// verbatim when RunClosedLoop moved onto the shared drive core
+// (stream.go). It exists only as the differential oracle for
+// TestClosedLoopMatchesRef: the unified driver must reproduce its output
+// byte-for-byte — decisions, results, metrics, events, and the generated
+// instance. Remove it (and the differential test) once a release has
+// shipped on the unified driver.
+
+import (
+	"fmt"
+	"sort"
+
+	"dtm/internal/core"
+	"dtm/internal/depgraph"
+	"dtm/internal/graph"
+	"dtm/internal/par"
+)
+
+func RunClosedLoopRef(g *graph.Graph, cfg ClosedLoopConfig, s Scheduler, opts Options) (*RunResult, *core.Instance, error) {
+	if cfg.Rounds < 1 {
+		return nil, nil, fmt.Errorf("sched: closed loop needs Rounds >= 1")
+	}
+	if cfg.Gen == nil {
+		return nil, nil, fmt.Errorf("sched: closed loop needs a Gen function")
+	}
+	nodes := cfg.Nodes
+	if nodes == 0 {
+		nodes = g.N()
+	}
+	if nodes < 1 || nodes > g.N() {
+		return nil, nil, fmt.Errorf("sched: closed loop Nodes=%d out of range", nodes)
+	}
+	in := &core.Instance{G: g, Objects: cfg.Objects}
+	for v := 0; v < nodes; v++ {
+		in.Txns = append(in.Txns, &core.Transaction{
+			ID:      core.TxID(v),
+			Node:    graph.NodeID(v),
+			Objects: cfg.Gen(graph.NodeID(v), 0),
+		})
+	}
+	simOpts := opts.Sim
+	if simOpts.Obs == nil {
+		simOpts.Obs = opts.Obs
+	}
+	sim, err := core.NewSim(in, simOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	dm := newDriverMetrics(opts.Obs)
+	env := &Env{Sim: sim, G: g, Obs: opts.Obs, Scratch: depgraph.GetScratch(),
+		Par: par.FromOption(simOpts.Parallel)}
+	defer env.Scratch.Release()
+	if err := s.Start(env); err != nil {
+		return nil, nil, fmt.Errorf("sched: %s start: %w", s.Name(), err)
+	}
+
+	round := make([]int, nodes)
+	waiting := make([]core.TxID, 0, nodes)
+	for v := range round {
+		round[v] = 1
+		waiting = append(waiting, core.TxID(v))
+	}
+	pendIssue := make(map[core.Time][]graph.NodeID)
+
+	var snaps []Snapshot
+	snapEvery := opts.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = 1
+	}
+	snapCount := 0
+
+	fail := func(err error) (*RunResult, *core.Instance, error) {
+		rr := BuildResult(sim, s.Name()+"/closed-loop", snaps, opts.Obs)
+		rr.Failed = true
+		rr.Err = err
+		return rr, in, err
+	}
+	deliver := func(t core.Time, txns []*core.Transaction) error {
+		if snapEvery > 0 && snapCount%snapEvery == 0 {
+			snaps = append(snaps, observedSnapshot(sim, t, opts.Obs, dm))
+		}
+		snapCount++
+		dm.arrivals.Add(int64(len(txns)))
+		return s.OnArrive(txns)
+	}
+	if err := sim.AdvanceTo(0); err != nil {
+		return fail(err)
+	}
+	if err := deliver(0, in.Txns[:nodes]); err != nil {
+		return fail(err)
+	}
+
+	for guard := 0; ; guard++ {
+		if guard > 1<<24 {
+			return fail(fmt.Errorf("sched: closed loop did not converge"))
+		}
+		for wg := 0; ; wg++ {
+			if wg > 1<<20 {
+				return fail(fmt.Errorf("sched: %s keeps requesting wake at t=%d without progress", s.Name(), sim.Now()))
+			}
+			w, ok := s.NextWake()
+			if !ok || w > sim.Now() {
+				break
+			}
+			dm.wakeups.Inc()
+			if err := s.OnWake(); err != nil {
+				return fail(err)
+			}
+		}
+		if len(waiting) == 0 && len(pendIssue) == 0 {
+			break
+		}
+		t := core.Time(-1)
+		take := func(x core.Time) {
+			if t < 0 || x < t {
+				t = x
+			}
+		}
+		for it := range pendIssue {
+			take(it)
+		}
+		if w, ok := s.NextWake(); ok {
+			take(w)
+		}
+		if st, ok := sim.NextInternalEvent(); ok {
+			take(st)
+		}
+		if t < 0 {
+			return fail(fmt.Errorf("sched: %s stalled in closed loop at t=%d", s.Name(), sim.Now()))
+		}
+		if err := sim.AdvanceTo(t); err != nil {
+			return fail(err)
+		}
+		stillWaiting := waiting[:0]
+		for _, id := range waiting {
+			if e, ok := sim.Executed(id); ok {
+				v := in.Txns[id].Node
+				if round[v] < cfg.Rounds {
+					at := e + 1
+					if at < sim.Now() {
+						at = sim.Now()
+					}
+					pendIssue[at] = append(pendIssue[at], v)
+				}
+			} else {
+				stillWaiting = append(stillWaiting, id)
+			}
+		}
+		waiting = stillWaiting
+		if issuers, ok := pendIssue[t]; ok {
+			delete(pendIssue, t)
+			sort.Slice(issuers, func(i, j int) bool { return issuers[i] < issuers[j] })
+			var newTxns []*core.Transaction
+			for _, v := range issuers {
+				tx := &core.Transaction{
+					ID:      core.TxID(len(in.Txns)),
+					Node:    v,
+					Arrival: t,
+					Objects: cfg.Gen(v, round[v]),
+				}
+				round[v]++
+				if err := sim.AddTransaction(tx); err != nil {
+					return fail(err)
+				}
+				waiting = append(waiting, tx.ID)
+				newTxns = append(newTxns, tx)
+			}
+			if err := deliver(t, newTxns); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	for _, tx := range in.Txns {
+		if _, ok := sim.Scheduled(tx.ID); !ok {
+			return fail(fmt.Errorf("sched: %s never scheduled transaction %d", s.Name(), tx.ID))
+		}
+	}
+	if err := sim.RunToCompletion(); err != nil {
+		return fail(err)
+	}
+	return BuildResult(sim, s.Name()+"/closed-loop", snaps, opts.Obs), in, nil
+}

@@ -12,7 +12,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"dtm/internal/core"
@@ -308,15 +307,7 @@ func BuildResult(sim *core.Sim, name string, snaps []Snapshot, m *obs.Metrics) *
 	rr.Err = sim.Failed()
 	rr.Failed = rr.Err != nil
 	rr.Metrics = m.Snapshot()
-	for _, tx := range sim.Instance().Txns {
-		exec, ok := sim.Scheduled(tx.ID)
-		if !ok {
-			continue
-		}
-		at, _ := sim.DecidedAt(tx.ID)
-		rr.Decisions = append(rr.Decisions, core.Decision{Tx: tx.ID, Exec: exec, At: at})
-	}
-	sort.SliceStable(rr.Decisions, func(i, j int) bool { return rr.Decisions[i].At < rr.Decisions[j].At })
+	rr.Decisions = harvestDecisions(sim)
 	for _, sn := range snaps {
 		var maxRem core.Time
 		for _, id := range sn.Live {

@@ -1,0 +1,534 @@
+package sched
+
+// The shared drive core for arrival-fed runs. Both the open-system
+// streaming driver (RunStream) and the paper's closed-loop process
+// (RunClosedLoop) are one loop — serve wakes, advance to the next arrival
+// or wake, deliver the arrival batch — differing only in where arrivals
+// come from: a lazily-pulled workload.Source, or a feedback stream whose
+// next arrival is gated on commits. The loop holds no per-transaction
+// history of its own, so with Sim retirement enabled (RunStream's
+// default) a run's live state is bounded by the in-flight window no
+// matter how many arrivals stream through.
+
+import (
+	"fmt"
+	"sort"
+
+	"dtm/internal/core"
+	"dtm/internal/depgraph"
+	"dtm/internal/graph"
+	"dtm/internal/obs"
+	"dtm/internal/par"
+	"dtm/internal/workload"
+)
+
+// arrivalStream feeds the drive loop. Implementations must yield
+// non-decreasing peek times; pop is called only while peek equals the
+// current step and returns the next transaction, built with the dense ID
+// the driver hands it.
+type arrivalStream interface {
+	// peek returns the time of the next pending arrival, if any.
+	peek() (core.Time, bool)
+	// pop builds the next pending arrival as a transaction with the given
+	// dense ID. The driver adds it to the sim and delivers it.
+	pop(id core.TxID) (*core.Transaction, error)
+	// observe runs after every sim advance — the feedback stream's hook
+	// for turning fresh commits into new pending arrivals.
+	observe() error
+	// exhausted reports that no arrival is pending now or later.
+	exhausted() bool
+	// feedback reports that future arrivals hinge on engine progress, so
+	// the drive loop must also advance to internal sim events.
+	feedback() bool
+}
+
+// driveOpts tune the shared loop per driver.
+type driveOpts struct {
+	// snapEvery takes a ratio snapshot at every k-th delivery (0 or 1 =
+	// every one, <0 = never). Streaming runs disable snapshots: a
+	// snapshot walks the whole window and times itself on the wall clock.
+	snapEvery int
+	obs       *obs.Metrics
+	// onBatch, when set, runs after each delivered batch with the total
+	// number of transactions issued so far (queue accounting, retirement).
+	onBatch func(issued int) error
+}
+
+// drive is the shared loop: it pumps instance arrivals and the stream into
+// the scheduler in time order until both are exhausted, then checks every
+// live transaction was scheduled and drains the sim. It returns the ratio
+// snapshots it took; the callers build their own results.
+func drive(sim *core.Sim, in *core.Instance, s Scheduler, stream arrivalStream,
+	dm driverMetrics, opts driveOpts) ([]Snapshot, error) {
+	var snaps []Snapshot
+	snapEvery := opts.snapEvery
+	if snapEvery == 0 {
+		snapEvery = 1
+	}
+	snapCount := 0
+	deliver := func(t core.Time, txns []*core.Transaction) error {
+		if snapEvery > 0 && snapCount%snapEvery == 0 {
+			snaps = append(snaps, observedSnapshot(sim, t, opts.obs, dm))
+		}
+		snapCount++
+		dm.arrivals.Add(int64(len(txns)))
+		return s.OnArrive(txns)
+	}
+
+	instArr := in.ArrivalTimes()
+	ai := 0
+	nextID := core.TxID(len(in.Txns))
+	// Progress guard: consecutive iterations that neither deliver a batch
+	// nor commit anything indicate a scheduler livelock. (A fixed
+	// iteration cap would bound run length; soak runs exceed any sane one.)
+	idle := 0
+	lastDone := -1
+	for {
+		// Serve due scheduler wakes at the current time.
+		for wg := 0; ; wg++ {
+			if wg > 1<<20 {
+				return snaps, fmt.Errorf("sched: %s keeps requesting wake at t=%d without progress", s.Name(), sim.Now())
+			}
+			w, ok := s.NextWake()
+			if !ok || w > sim.Now() {
+				break
+			}
+			dm.wakeups.Inc()
+			if err := s.OnWake(); err != nil {
+				return snaps, err
+			}
+		}
+		if done, _, _, _ := sim.CommitStats(); done != lastDone {
+			lastDone, idle = done, 0
+		} else if idle++; idle > 1<<20 {
+			return snaps, fmt.Errorf("sched: %s drive loop stopped progressing at t=%d", s.Name(), sim.Now())
+		}
+		if ai >= len(instArr) && stream.exhausted() {
+			if stream.feedback() {
+				// Feedback exhaustion means every issued transaction
+				// committed; trailing wakes are moot.
+				break
+			}
+			// Open loop: drain deferred scheduler work before finishing.
+			w, ok := s.NextWake()
+			if !ok {
+				break
+			}
+			if err := sim.AdvanceTo(w); err != nil {
+				return snaps, err
+			}
+			if err := stream.observe(); err != nil {
+				return snaps, err
+			}
+			continue
+		}
+		// Next event: an arrival (instance or stream), a scheduler wake,
+		// or — in feedback mode, where arrivals hinge on commits — an
+		// internal sim event.
+		t := core.Time(-1)
+		take := func(x core.Time) {
+			if t < 0 || x < t {
+				t = x
+			}
+		}
+		if ai < len(instArr) {
+			take(instArr[ai])
+		}
+		if pt, ok := stream.peek(); ok {
+			take(pt)
+		}
+		if w, ok := s.NextWake(); ok {
+			take(w)
+		}
+		if stream.feedback() {
+			if st, ok := sim.NextInternalEvent(); ok {
+				take(st)
+			}
+		}
+		if t < 0 {
+			return snaps, fmt.Errorf("sched: %s stalled at t=%d with arrivals pending", s.Name(), sim.Now())
+		}
+		if err := sim.AdvanceTo(t); err != nil {
+			return snaps, err
+		}
+		if err := stream.observe(); err != nil {
+			return snaps, err
+		}
+		var batch []*core.Transaction
+		if ai < len(instArr) && instArr[ai] == t {
+			batch = in.TxnsArriving(t)
+			ai++
+		}
+		for {
+			pt, ok := stream.peek()
+			if !ok || pt != t {
+				break
+			}
+			tx, err := stream.pop(nextID)
+			if err != nil {
+				return snaps, err
+			}
+			if err := sim.AddTransaction(tx); err != nil {
+				return snaps, err
+			}
+			nextID++
+			batch = append(batch, tx)
+		}
+		if len(batch) > 0 {
+			idle = 0
+			if err := deliver(t, batch); err != nil {
+				return snaps, err
+			}
+			if opts.onBatch != nil {
+				if err := opts.onBatch(int(nextID)); err != nil {
+					return snaps, err
+				}
+			}
+		}
+	}
+	// Surface any source error that exhausted the stream early (the
+	// monotonicity check fails the run rather than truncating it).
+	if err := stream.observe(); err != nil {
+		return snaps, err
+	}
+	// Every transaction still in the window must have a decision (retired
+	// ones committed, which implies they were scheduled).
+	for _, tx := range in.Txns {
+		if _, ok := sim.Scheduled(tx.ID); !ok {
+			return snaps, fmt.Errorf("sched: %s never scheduled transaction %d", s.Name(), tx.ID)
+		}
+	}
+	return snaps, sim.RunToCompletion()
+}
+
+// harvestDecisions rebuilds the decision log from the sim's live window in
+// decision-time order (the stable sort over ID order reproduces the online
+// emission order).
+func harvestDecisions(sim *core.Sim) []core.Decision {
+	var decs []core.Decision
+	for _, tx := range sim.Instance().Txns {
+		exec, ok := sim.Scheduled(tx.ID)
+		if !ok {
+			continue
+		}
+		at, _ := sim.DecidedAt(tx.ID)
+		decs = append(decs, core.Decision{Tx: tx.ID, Exec: exec, At: at})
+	}
+	sort.SliceStable(decs, func(i, j int) bool { return decs[i].At < decs[j].At })
+	return decs
+}
+
+// pullStream adapts a workload.Source to the drive loop with a one-slot
+// lookahead buffer and an arrival cap.
+type pullStream struct {
+	src    workload.Source
+	max    int64 // 0 = uncapped
+	count  int64 // arrivals pulled from the source
+	lastAt core.Time
+	buf    workload.Arrival
+	has    bool
+	done   bool
+	err    error
+}
+
+func (p *pullStream) fill() {
+	if p.has || p.done || p.err != nil {
+		return
+	}
+	if p.max > 0 && p.count >= p.max {
+		p.done = true
+		return
+	}
+	a, ok := p.src.Next()
+	if !ok {
+		p.done = true
+		return
+	}
+	if a.At < p.lastAt {
+		p.err = fmt.Errorf("sched: source arrival at t=%d after one at t=%d (times must be non-decreasing)", a.At, p.lastAt)
+		return
+	}
+	p.lastAt = a.At
+	p.count++
+	p.buf, p.has = a, true
+}
+
+func (p *pullStream) peek() (core.Time, bool) {
+	p.fill()
+	if !p.has {
+		return 0, false
+	}
+	return p.buf.At, true
+}
+
+func (p *pullStream) pop(id core.TxID) (*core.Transaction, error) {
+	p.fill()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if !p.has {
+		return nil, fmt.Errorf("sched: stream pop past exhaustion")
+	}
+	a := p.buf
+	p.has = false
+	return &core.Transaction{ID: id, Node: a.Node, Arrival: a.At, Objects: a.Objects}, nil
+}
+
+func (p *pullStream) observe() error { return p.err }
+
+func (p *pullStream) exhausted() bool {
+	p.fill()
+	return !p.has
+}
+
+func (p *pullStream) feedback() bool { return false }
+
+// streamMetrics are the open-system driver's bounded-memory instruments.
+type streamMetrics struct {
+	queueLen   *obs.Gauge   // stream.queue_len
+	windowTxns *obs.Gauge   // stream.window_txns
+	retired    *obs.Counter // stream.retired
+	liveState  *obs.Gauge   // stream.live_state
+}
+
+func newStreamMetrics(m *obs.Metrics) streamMetrics {
+	if m == nil {
+		return streamMetrics{}
+	}
+	return streamMetrics{
+		queueLen:   m.Gauge(obs.NameStreamQueueLen),
+		windowTxns: m.Gauge(obs.NameStreamWindowTxns),
+		retired:    m.Counter(obs.NameStreamRetired),
+		liveState:  m.Gauge(obs.NameStreamLiveState),
+	}
+}
+
+// peakTrace tracks the running peak of a series in bounded memory: peaks
+// per epoch of deliveries, pairwise-merged (doubling the epoch) whenever
+// the trace would exceed 4096 entries. Good enough to compare the first
+// and second half of a run without storing the series.
+type peakTrace struct {
+	epoch int
+	n     int
+	cur   int64
+	peaks []int64
+}
+
+func (p *peakTrace) observe(v int64) {
+	if p.epoch == 0 {
+		p.epoch = 1
+	}
+	if v > p.cur {
+		p.cur = v
+	}
+	if p.n++; p.n < p.epoch {
+		return
+	}
+	p.peaks = append(p.peaks, p.cur)
+	p.cur, p.n = 0, 0
+	if len(p.peaks) >= 4096 {
+		merged := p.peaks[:0]
+		for i := 0; i+1 < len(p.peaks); i += 2 {
+			m := p.peaks[i]
+			if p.peaks[i+1] > m {
+				m = p.peaks[i+1]
+			}
+			merged = append(merged, m)
+		}
+		p.peaks = merged
+		p.epoch *= 2
+	}
+}
+
+// stats returns the overall peak and the peaks of the first and second
+// half of the observed series. With a single epoch both halves report it.
+func (p *peakTrace) stats() (peak, firstHalf, secondHalf int64) {
+	peaks := p.peaks
+	if p.n > 0 {
+		peaks = append(append([]int64(nil), peaks...), p.cur)
+	}
+	if len(peaks) == 0 {
+		return 0, 0, 0
+	}
+	mid := (len(peaks) + 1) / 2
+	for i, v := range peaks {
+		if v > peak {
+			peak = v
+		}
+		if i < mid {
+			if v > firstHalf {
+				firstHalf = v
+			}
+		} else if v > secondHalf {
+			secondHalf = v
+		}
+	}
+	if len(peaks) == 1 {
+		secondHalf = firstHalf
+	}
+	return peak, firstHalf, secondHalf
+}
+
+// StreamOptions configure an open-system streaming run.
+type StreamOptions struct {
+	Sim core.SimOptions
+	// Obs collects metrics as in Options.Obs. Streaming runs are always
+	// instrumented — the queue/window gauges and sojourn percentiles come
+	// out of the registry — so a private registry is created when nil.
+	Obs *obs.Metrics
+	// MaxArrivals caps how many arrivals are pulled from the source.
+	// Required (>0) for endless generative sources; 0 runs until the
+	// source exhausts (finite-instance adapters).
+	MaxArrivals int64
+	// KeepHistory disables transaction retirement, keeping every
+	// transaction in the window — O(arrivals) memory, but Sim.Result and
+	// per-transaction queries stay exact. Implied by CollectDecisions.
+	KeepHistory bool
+	// CollectDecisions harvests the full decision log into the result
+	// (implies KeepHistory).
+	CollectDecisions bool
+}
+
+// StreamResult summarizes an open-system run. Aggregates come from the
+// engine's running commit stats, so they cover every transaction even
+// after retirement.
+type StreamResult struct {
+	Scheduler string
+	Arrivals  int64 // transactions pulled from the source
+	Completed int64 // transactions committed
+	Makespan  core.Time
+
+	// Sojourn (commit - arrival) latency: exact max and mean, and
+	// bucket-resolution percentiles from the core.commit_latency histogram.
+	MaxSojourn  core.Time
+	MeanSojourn float64
+	SojournP50  int64
+	SojournP95  int64
+	SojournP99  int64
+
+	// Queue length (issued - committed) and live-window size, sampled at
+	// every delivered batch: overall peak plus first/second-half peaks —
+	// the stability signal (a stable run's second half stops growing).
+	QueuePeak            int64
+	QueuePeakFirstHalf   int64
+	QueuePeakSecondHalf  int64
+	WindowPeak           int64
+	WindowPeakFirstHalf  int64
+	WindowPeakSecondHalf int64
+
+	Retired   int64 // transactions dropped from the window
+	TotalComm graph.Weight
+
+	// Decisions is populated only under CollectDecisions.
+	Decisions []core.Decision
+
+	Failed  bool
+	Err     error
+	Metrics *obs.Snapshot
+}
+
+// RunStream drives a scheduler against a streaming source on graph g with
+// the given shared objects: arrivals are pulled lazily as simulated time
+// reaches them, committed transactions are retired from the engine window
+// (unless KeepHistory), and queue/sojourn/live-state series are recorded
+// through obs. The scheduler sees exactly the same OnArrive/OnWake
+// protocol as the finite driver.
+func RunStream(g *graph.Graph, objects []*core.Object, src workload.Source, s Scheduler, opts StreamOptions) (*StreamResult, error) {
+	if src == nil {
+		return nil, fmt.Errorf("sched: RunStream needs a source")
+	}
+	if opts.MaxArrivals < 0 {
+		return nil, fmt.Errorf("sched: RunStream MaxArrivals must be >= 0")
+	}
+	if opts.CollectDecisions {
+		opts.KeepHistory = true
+	}
+	m := opts.Obs
+	if m == nil {
+		m = obs.New()
+	}
+	simOpts := opts.Sim
+	if simOpts.Obs == nil {
+		simOpts.Obs = m
+	}
+	in := &core.Instance{G: g, Objects: objects}
+	sim, err := core.NewSim(in, simOpts)
+	if err != nil {
+		return nil, err
+	}
+	dm := newDriverMetrics(m)
+	sm := newStreamMetrics(m)
+	env := &Env{Sim: sim, G: g, Obs: m, Scratch: depgraph.GetScratch(),
+		Par: par.FromOption(simOpts.Parallel)}
+	defer env.Scratch.Release()
+	if err := s.Start(env); err != nil {
+		return nil, fmt.Errorf("sched: %s start: %w", s.Name(), err)
+	}
+
+	stream := &pullStream{src: src, max: opts.MaxArrivals}
+	var queueTrace, windowTrace peakTrace
+	ls, hasLS := s.(interface{ LiveStats() (int, int) })
+	sinceRetire := 0
+	onBatch := func(issued int) error {
+		done, _, _, _ := sim.CommitStats()
+		q := int64(issued - done)
+		sm.queueLen.Set(q)
+		queueTrace.observe(q)
+		if !opts.KeepHistory {
+			// Retire in batches so the window shifts stay amortized O(1)
+			// per transaction: a shift costs O(live window) and frees at
+			// least 512, so the per-transaction cost is O(1 + queue/512).
+			if sinceRetire++; sinceRetire >= 32 {
+				sinceRetire = 0
+				if k := sim.RetireDone(512); k > 0 {
+					sm.retired.Add(int64(k))
+				}
+			}
+		}
+		_, win := sim.LiveWindow()
+		w := int64(win)
+		sm.windowTxns.Set(w)
+		windowTrace.observe(w)
+		live := w
+		if hasLS {
+			a, b := ls.LiveStats()
+			live += int64(a + b)
+		}
+		sm.liveState.Set(live)
+		return nil
+	}
+
+	res := &StreamResult{Scheduler: s.Name() + "/stream"}
+	finish := func() {
+		res.Arrivals = stream.count
+		count, makespan, maxLat, sumLat := sim.CommitStats()
+		res.Completed = int64(count)
+		res.Makespan = makespan
+		res.MaxSojourn = maxLat
+		if count > 0 {
+			res.MeanSojourn = float64(sumLat) / float64(count)
+		}
+		retired, _ := sim.LiveWindow()
+		res.Retired = int64(retired)
+		res.TotalComm = sim.TotalComm()
+		res.QueuePeak, res.QueuePeakFirstHalf, res.QueuePeakSecondHalf = queueTrace.stats()
+		res.WindowPeak, res.WindowPeakFirstHalf, res.WindowPeakSecondHalf = windowTrace.stats()
+		res.Metrics = m.Snapshot()
+		if hv, ok := res.Metrics.Histograms[obs.NameCoreCommitLatency]; ok {
+			res.SojournP50 = hv.Quantile(0.50)
+			res.SojournP95 = hv.Quantile(0.95)
+			res.SojournP99 = hv.Quantile(0.99)
+		}
+		if opts.CollectDecisions {
+			res.Decisions = harvestDecisions(sim)
+		}
+	}
+	if _, err := drive(sim, in, s, stream, dm, driveOpts{snapEvery: -1, obs: m, onBatch: onBatch}); err != nil {
+		finish()
+		res.Failed = true
+		res.Err = err
+		return res, err
+	}
+	finish()
+	return res, nil
+}

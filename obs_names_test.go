@@ -46,8 +46,10 @@ func emittedNames(into map[string]bool, snap *MetricsSnapshot) {
 }
 
 // exerciseAllEngines runs the central greedy, central bucket, and
-// distributed schedulers on small instances with metrics enabled and
-// returns the union of emitted metric names.
+// distributed schedulers on small instances, plus an open-system
+// streaming run (which carries the stream.* queue/window/live-state
+// instruments), all with metrics enabled, and returns the union of
+// emitted metric names.
 func exerciseAllEngines(t *testing.T) map[string]bool {
 	t.Helper()
 	emitted := make(map[string]bool)
@@ -85,6 +87,18 @@ func exerciseAllEngines(t *testing.T) map[string]bool {
 		t.Fatal(err)
 	}
 	emittedNames(emitted, res.Metrics)
+
+	src, err := NewPoissonSource(g, StreamConfig{K: 2, NumObjects: 4, Rate: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewMetrics()
+	srr, err := RunStream(g, UniformObjects(g, 4, 5), src, NewGreedy(GreedyOptions{}),
+		StreamOptions{Obs: sm, MaxArrivals: 64})
+	if err != nil {
+		t.Fatalf("stream run: %v", err)
+	}
+	emittedNames(emitted, srr.Metrics)
 	return emitted
 }
 
