@@ -38,8 +38,9 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/sched/... \
 		./internal/par/... ./internal/distnet/... ./internal/distbucket/... \
 		./internal/runner/... ./internal/graph/... \
-		./internal/depgraph/... ./internal/pq/...
-	$(GO) test -race -run 'TestParallel|TestAdvanceToIncrements' .
+		./internal/depgraph/... ./internal/pq/... \
+		./internal/window/... ./internal/engine/...
+	$(GO) test -race -run 'TestParallel|TestAdvanceToIncrements|TestEngineConformance' .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -88,3 +89,4 @@ fuzz-quick: build
 	$(GO) test -run '^$$' -fuzz 'FuzzSmallestValidMultiple$$' -fuzztime 30s ./internal/coloring/
 	$(GO) test -run '^$$' -fuzz 'FuzzIndexInvariants$$' -fuzztime 30s ./internal/depgraph/
 	$(GO) test -run '^$$' -fuzz 'FuzzBatchIncremental$$' -fuzztime 30s ./internal/batch/
+	$(GO) test -run '^$$' -fuzz 'FuzzWindowDraws$$' -fuzztime 30s ./internal/window/

@@ -26,6 +26,7 @@ import (
 	"dtm/internal/batch"
 	"dtm/internal/bucket"
 	"dtm/internal/core"
+	"dtm/internal/engine"
 	"dtm/internal/experiments"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
@@ -82,6 +83,7 @@ func BenchmarkFigure13Padding(b *testing.B)      { benchExperiment(b, "F13") }
 func BenchmarkTable11Faults(b *testing.B)        { benchExperiment(b, "T11") }
 func BenchmarkTable12Scale(b *testing.B)         { benchExperiment(b, "T12") }
 func BenchmarkTable14Stream(b *testing.B)        { benchExperiment(b, "T14") }
+func BenchmarkTable15Window(b *testing.B)        { benchExperiment(b, "T15") }
 
 // BenchmarkSweepWorkers times one trial-heavy experiment (T1) at several
 // worker-pool sizes; the rendered tables are byte-identical across them.
@@ -139,7 +141,7 @@ func BenchmarkGreedyScheduleCPU(b *testing.B) {
 		for _, eng := range engineVariants {
 			b.Run(fmt.Sprintf("clique-n%d/%s", n, eng.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					s := greedy.New(greedy.Options{RebuildOracle: eng.rebuild})
+					s := engine.NewGreedy(greedy.Options{RebuildOracle: eng.rebuild})
 					if _, err := sched.Run(in, s, sched.Options{SnapshotEvery: -1}); err != nil {
 						b.Fatal(err)
 					}
@@ -168,7 +170,7 @@ func BenchmarkBucketScheduleCPU(b *testing.B) {
 		for _, eng := range engineVariants {
 			b.Run(fmt.Sprintf("line-n%d/%s", n, eng.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					s := bucket.New(bucket.Options{Batch: batch.Tour{}, RebuildOracle: eng.rebuild})
+					s := engine.NewBucket(bucket.Options{Batch: batch.Tour{}, RebuildOracle: eng.rebuild})
 					if _, err := sched.Run(in, s, sched.Options{SnapshotEvery: -1}); err != nil {
 						b.Fatal(err)
 					}

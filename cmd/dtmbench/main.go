@@ -27,12 +27,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"dtm"
 	"dtm/internal/batch"
 	"dtm/internal/bucket"
 	"dtm/internal/core"
+	"dtm/internal/engine"
 	"dtm/internal/experiments"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
@@ -58,9 +60,28 @@ func main() {
 	)
 	flag.Parse()
 	switch {
-	case *list:
+	case *list, *exp == "list":
+		fmt.Println("experiments:")
 		for _, e := range experiments.All {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		fmt.Println("\nengines (dtmsim -sched <id>):")
+		for _, d := range engine.All() {
+			alias := ""
+			if len(d.Aliases) > 0 {
+				alias = " (alias " + strings.Join(d.Aliases, ", ") + ")"
+			}
+			var caps []string
+			if d.Caps.Distributed {
+				caps = append(caps, "distributed")
+			}
+			if d.Caps.Oracle {
+				caps = append(caps, "oracle")
+			}
+			if d.Caps.Stream {
+				caps = append(caps, "stream")
+			}
+			fmt.Printf("%-16s%s [%s]\n     %s\n", d.ID, alias, strings.Join(caps, ","), d.Doc)
 		}
 	case *parjson != "":
 		if err := runParBench(*parjson, *quick); err != nil {
@@ -283,13 +304,13 @@ func runScaleBench(path string, quick bool) error {
 			mk   func(rebuild bool) sched.Scheduler
 		}{
 			{"greedy-clique", greedyIn, func(r bool) sched.Scheduler {
-				return greedy.New(greedy.Options{RebuildOracle: r})
+				return engine.NewGreedy(greedy.Options{RebuildOracle: r})
 			}},
 			{"bucket-tour-line", bucketIn, func(r bool) sched.Scheduler {
-				return bucket.New(bucket.Options{Batch: batch.Tour{}, RebuildOracle: r})
+				return engine.NewBucket(bucket.Options{Batch: batch.Tour{}, RebuildOracle: r})
 			}},
 			{"bucket-coloring-line", bucketIn, func(r bool) sched.Scheduler {
-				return bucket.New(bucket.Options{Batch: batch.Coloring{}, RebuildOracle: r})
+				return engine.NewBucket(bucket.Options{Batch: batch.Coloring{}, RebuildOracle: r})
 			}},
 		}
 		for _, c := range cells {
@@ -393,13 +414,13 @@ func runParBench(path string, quick bool) error {
 		}
 		defs = append(defs,
 			rowDef{"greedy", gridName, sz.n, gridFn, greedyCfg,
-				func() sched.Scheduler { return greedy.New(greedy.Options{}) }},
+				func() sched.Scheduler { return engine.NewGreedy(greedy.Options{}) }},
 			rowDef{"bucket-tour", fmt.Sprintf("line(%d)", sz.n), sz.n, lineFn,
 				workload.Config{
 					K: 2, NumObjects: sz.n / 2, Rounds: 1,
 					Arrival: workload.ArrivalBatch, Seed: 1,
 				},
-				func() sched.Scheduler { return bucket.New(bucket.Options{Batch: batch.Tour{}}) }},
+				func() sched.Scheduler { return engine.NewBucket(bucket.Options{Batch: batch.Tour{}}) }},
 			rowDef{"replay-greedy", gridName, sz.n, gridFn, greedyCfg, nil},
 		)
 	}
@@ -420,7 +441,7 @@ func runParBench(path string, quick bool) error {
 			if err != nil {
 				return err
 			}
-			rr, err := sched.Run(in, greedy.New(greedy.Options{}), sched.Options{SnapshotEvery: -1})
+			rr, err := sched.Run(in, engine.NewGreedy(greedy.Options{}), sched.Options{SnapshotEvery: -1})
 			if err != nil {
 				return err
 			}
@@ -531,11 +552,20 @@ func runParBench(path string, quick bool) error {
 		}
 		rows = append(rows, row)
 	}
+	procs := runtime.GOMAXPROCS(0)
 	report := struct {
-		Quick bool     `json:"quick"`
+		// Procs and Note lead the artifact so a single-core run is
+		// self-describing: speedup columns from a GOMAXPROCS=1 container
+		// measure only the two-phase engine's overhead, never its win.
 		Procs int      `json:"procs"`
+		Note  string   `json:"note,omitempty"`
+		Quick bool     `json:"quick"`
 		Rows  []parRow `json:"rows"`
-	}{Quick: quick, Procs: runtime.GOMAXPROCS(0), Rows: rows}
+	}{Quick: quick, Procs: procs, Rows: rows}
+	if procs == 1 {
+		report.Note = "single-core run (GOMAXPROCS=1): parallel widths share one CPU, so speedups reflect engine overhead only — rerun on multi-core hardware for real curves"
+		fmt.Fprintf(os.Stderr, "dtmbench: WARNING: %s\n", report.Note)
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

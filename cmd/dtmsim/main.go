@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dtm"
 	"dtm/internal/batch"
@@ -38,7 +39,7 @@ func main() {
 		beta     = flag.Int("beta", 4, "cluster: clique size / star: ray length / tree: branching")
 		gamma    = flag.Int("gamma", 4, "cluster: bridge weight")
 		depth    = flag.Int("depth", 3, "tree depth")
-		schedArg = flag.String("sched", "greedy", "greedy|greedy-uniform|coordinator|bucket-tour|bucket-coloring|distributed")
+		schedArg = flag.String("sched", "greedy", "engine ID from the registry (greedy|greedy-uniform|coordinator|bucket-tour|bucket-coloring|bucket-list|window|distributed), or 'list' to print it")
 		k        = flag.Int("k", 2, "objects per transaction")
 		objects  = flag.Int("objects", 0, "number of shared objects (default n)")
 		rounds   = flag.Int("rounds", 3, "transactions per node")
@@ -172,23 +173,55 @@ func arrivalKind(s string) (dtm.WorkloadConfig, error) {
 	return cfg, nil
 }
 
-// buildScheduler constructs one of the centralized schedulers (the
-// distributed protocol has its own driver and is handled separately).
+// buildScheduler resolves one of the centralized schedulers from the
+// engine registry (the distributed protocol has its own driver and is
+// handled separately). Only the coordinator takes a CLI parameter (-hub),
+// so it routes through the concrete constructor; every other engine is the
+// registry default.
 func buildScheduler(p params) (dtm.Scheduler, error) {
-	switch p.sched {
-	case "greedy":
-		return dtm.NewGreedy(dtm.GreedyOptions{}), nil
-	case "greedy-uniform":
-		return dtm.NewGreedy(dtm.GreedyOptions{Uniform: true}), nil
-	case "coordinator":
-		return dtm.NewCoordinator(dtm.NodeID(p.hub), dtm.GreedyOptions{}), nil
-	case "bucket-tour":
-		return dtm.NewBucket(dtm.BucketOptions{Batch: dtm.TourBatch()}), nil
-	case "bucket-coloring":
-		return dtm.NewBucket(dtm.BucketOptions{Batch: dtm.ColoringBatch()}), nil
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", p.sched)
+	d, ok := dtm.EngineByID(p.sched)
+	if !ok {
+		return nil, fmt.Errorf("unknown scheduler %q (run -sched list for the registry)", p.sched)
 	}
+	if d.ID == "coordinator" && p.hub != 0 {
+		return dtm.NewCoordinator(dtm.NodeID(p.hub), dtm.GreedyOptions{}), nil
+	}
+	return dtm.NewEngine(d.ID)
+}
+
+// capsString renders an engine's capability flags for -sched list.
+func capsString(c dtm.EngineCaps) string {
+	var flags []string
+	if c.Distributed {
+		flags = append(flags, "distributed")
+	}
+	if c.Oracle {
+		flags = append(flags, "oracle")
+	}
+	if c.Stream {
+		flags = append(flags, "stream")
+	}
+	if len(flags) == 0 {
+		return "-"
+	}
+	return strings.Join(flags, ",")
+}
+
+// printEngines lists the registered engines (dtmsim -sched list).
+func printEngines(csv bool) error {
+	t := stats.NewTable("registered engines (dtmsim -sched <id>)",
+		"id", "aliases", "caps", "description")
+	for _, d := range dtm.Engines() {
+		aliases := strings.Join(d.Aliases, ",")
+		if aliases == "" {
+			aliases = "-"
+		}
+		t.AddRow(d.ID, aliases, capsString(d.Caps), d.Doc)
+	}
+	if csv {
+		return t.RenderCSV(os.Stdout)
+	}
+	return t.Render(os.Stdout)
 }
 
 // openMetrics builds the shared observability registry when -metrics or
@@ -211,6 +244,9 @@ func openMetrics(p params) (*dtm.Metrics, func() error, error) {
 }
 
 func run(p params) error {
+	if p.sched == "list" {
+		return printEngines(p.csv)
+	}
 	g, err := buildGraph(p)
 	if err != nil {
 		return err
@@ -265,7 +301,7 @@ func run(p params) error {
 	if err != nil {
 		return err
 	}
-	if p.sched == "distributed" {
+	if d, ok := dtm.EngineByID(p.sched); ok && d.Caps.Distributed {
 		res, err := dtm.RunDistributed(in, dtm.DistributedOptions{
 			Options: dtm.RunOptions{Obs: m},
 			Batch:   batch.Tour{}, Seed: p.seed, Parallel: true,
@@ -374,7 +410,7 @@ func assertFlat(res *dtm.StreamResult) error {
 // runStream drives the open-system mode: a generative arrival source
 // pulled lazily by the bounded-memory streaming driver.
 func runStream(p params, g *dtm.Graph) error {
-	if p.sched == "distributed" {
+	if d, ok := dtm.EngineByID(p.sched); ok && d.Caps.Distributed {
 		return fmt.Errorf("-stream supports the centralized schedulers only")
 	}
 	if p.capacity > 0 || p.traceOut != "" {

@@ -42,12 +42,14 @@ import (
 	"dtm/internal/cover"
 	"dtm/internal/distbucket"
 	"dtm/internal/distnet"
+	"dtm/internal/engine"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
 	"dtm/internal/lowerbound"
 	"dtm/internal/obs"
 	"dtm/internal/sched"
 	"dtm/internal/trace"
+	"dtm/internal/window"
 	"dtm/internal/workload"
 )
 
@@ -96,6 +98,8 @@ type (
 	GreedyOptions = greedy.Options
 	// BucketOptions configure the Algorithm 2 scheduler.
 	BucketOptions = bucket.Options
+	// WindowOptions configure the Algorithm W window scheduler.
+	WindowOptions = window.Options
 	// EngineOptions is the shared engine-selection knob embedded in both
 	// GreedyOptions and BucketOptions: RebuildOracle selects the
 	// from-scratch reference engine over the incremental default. The
@@ -235,17 +239,48 @@ func SingleObjectChain(g *Graph, origin NodeID) (*Instance, error) {
 	return workload.SingleObjectChain(g, origin)
 }
 
+// Engine registry: the engines by ID, with aliases and capability flags.
+// Harnesses enumerate Engines() (filtering on EngineCaps) instead of
+// hand-maintaining scheduler lists; NewEngine resolves an ID to a
+// default-configured scheduler.
+type (
+	// EngineDesc describes one registered engine.
+	EngineDesc = engine.Desc
+	// EngineCaps are an engine's capability flags (distributed,
+	// supports-oracle, supports-stream).
+	EngineCaps = engine.Caps
+)
+
+// Engines returns every registered engine in presentation order.
+func Engines() []EngineDesc { return engine.All() }
+
+// EngineByID resolves an engine by ID or alias, case-insensitively.
+func EngineByID(id string) (EngineDesc, bool) { return engine.ByID(id) }
+
+// EngineIDs returns the canonical engine IDs in presentation order.
+func EngineIDs() []string { return engine.IDs() }
+
+// NewEngine constructs the engine registered under id with default
+// options; it errors on unknown IDs and on distributed engines (run those
+// through RunDistributed).
+func NewEngine(id string) (Scheduler, error) { return engine.Default(id) }
+
 // NewGreedy returns the Algorithm 1 online greedy scheduler.
-func NewGreedy(opts GreedyOptions) *greedy.Greedy { return greedy.New(opts) }
+func NewGreedy(opts GreedyOptions) *greedy.Greedy { return engine.NewGreedy(opts) }
 
 // NewCoordinator returns the Section III-E hub coordinator scheduler.
 func NewCoordinator(hub NodeID, opts GreedyOptions) *greedy.Coordinator {
-	return greedy.NewCoordinator(hub, opts)
+	return engine.NewCoordinator(hub, opts)
 }
 
 // NewBucket returns the Algorithm 2 online bucket scheduler converting the
 // offline batch algorithm in opts.Batch.
-func NewBucket(opts BucketOptions) *bucket.Bucket { return bucket.New(opts) }
+func NewBucket(opts BucketOptions) *bucket.Bucket { return engine.NewBucket(opts) }
+
+// NewWindow returns the Algorithm W randomized window-based greedy
+// scheduler (Sharma, Estrade & Busch): seeded per-round priorities,
+// exponential window growth on abort.
+func NewWindow(opts WindowOptions) *window.Window { return engine.NewWindow(opts) }
 
 // NewBatchSession begins an incremental session of s over the live
 // problem p (p.Txns is ignored; the pushed set takes its place).

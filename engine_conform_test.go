@@ -1,0 +1,149 @@
+package dtm
+
+// Generic engine-conformance suite, driven by the engine registry: every
+// centrally-driven engine (Caps.Distributed == false) must satisfy the
+// contracts the drivers rely on, with no per-engine test code. Adding a
+// Desc to internal/engine automatically subjects the new engine to:
+//
+//   - determinism: two fresh-engine runs over the same instance are
+//     byte-identical (decisions, results, metric snapshots, events);
+//   - parallel identity: SimOptions.Parallel ∈ {2, 4} reproduces the
+//     sequential run bytewise (DESIGN.md §12 compute/merge contract);
+//   - replay round-trip: the decision log re-executes under the
+//     execution model with the same makespan — i.e. the schedule is
+//     valid, not just internally consistent;
+//   - stream leak guard (Caps.Stream only): under the open-system
+//     driver with retirement enabled, live state plateaus instead of
+//     growing with the arrival count.
+//
+// engine_par_test.go and engine_diff_test.go stress the same contracts
+// across many topologies/seeds/feature knobs; this suite is the cheap
+// per-engine gate a new registry entry must clear first.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"dtm/internal/obs"
+)
+
+func conformInstance(t *testing.T) *Instance {
+	t.Helper()
+	g, err := Cluster(ClusterSpec{Alpha: 3, Beta: 4, Gamma: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Generate(g, WorkloadConfig{
+		K: 3, NumObjects: 6, Rounds: 4,
+		Arrival: ArrivalPoisson, Period: 3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestEngineConformance(t *testing.T) {
+	in := conformInstance(t)
+	ran := 0
+	for _, d := range Engines() {
+		if d.Caps.Distributed {
+			continue
+		}
+		d := d
+		ran++
+		t.Run(d.ID, func(t *testing.T) {
+			t.Run("deterministic", func(t *testing.T) {
+				a := runPinned(t, in, d.New(EngineOptions{}), RunOptions{}, 0)
+				b := runPinned(t, in, d.New(EngineOptions{}), RunOptions{}, 0)
+				comparePinned(t, a, b, 0)
+			})
+			t.Run("parallel-identity", func(t *testing.T) {
+				seq := runPinned(t, in, d.New(EngineOptions{}), RunOptions{}, 0)
+				for _, p := range []int{2, 4} {
+					comparePinned(t, seq, runPinned(t, in, d.New(EngineOptions{}), RunOptions{}, p), p)
+				}
+			})
+			t.Run("replay-roundtrip", func(t *testing.T) {
+				rr, err := Run(in, d.New(EngineOptions{}), RunOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Replay(in, rr.Decisions, SimOptions{})
+				if err != nil {
+					t.Fatalf("decision log does not replay: %v", err)
+				}
+				if res.Makespan != rr.Makespan {
+					t.Fatalf("replay makespan %d != run makespan %d", res.Makespan, rr.Makespan)
+				}
+			})
+			if d.Caps.Stream {
+				t.Run("stream-leak-guard", func(t *testing.T) {
+					testEngineStreamLeakGuard(t, d)
+				})
+			}
+		})
+	}
+	if ran < 7 {
+		t.Fatalf("conformance covered only %d central engines, want the seven variants", ran)
+	}
+}
+
+// testEngineStreamLeakGuard sustains a sub-critical Poisson load through
+// the open-system driver (KeepHistory off, so retirement runs) and
+// asserts the engine's live state plateaus: a leaked posting list or
+// pending set grows linearly with arrivals, so a doubling bound on the
+// second-half peaks separates cleanly.
+func testEngineStreamLeakGuard(t *testing.T, d EngineDesc) {
+	g, err := Clique(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StreamConfig{K: 2, NumObjects: 16, Rate: 0.25, Seed: 17}
+	src, err := NewPoissonSource(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const arrivals = 2000
+	res, err := RunStream(g, UniformObjects(g, 16, 17), src, d.New(EngineOptions{}),
+		StreamOptions{Obs: NewMetrics(), MaxArrivals: arrivals})
+	if err != nil {
+		t.Fatalf("stream run: %v", err)
+	}
+	if res.Arrivals != arrivals || res.Completed != arrivals {
+		t.Fatalf("arrivals=%d completed=%d, want %d each", res.Arrivals, res.Completed, arrivals)
+	}
+	if res.Retired == 0 {
+		t.Fatal("retirement never fired: live state is O(arrivals)")
+	}
+	if res.WindowPeakSecondHalf > 2*res.WindowPeakFirstHalf+32 {
+		t.Fatalf("window grows: first-half peak %d, second-half peak %d",
+			res.WindowPeakFirstHalf, res.WindowPeakSecondHalf)
+	}
+	if res.QueuePeakSecondHalf > 2*res.QueuePeakFirstHalf+32 {
+		t.Fatalf("queue grows: first-half peak %d, second-half peak %d",
+			res.QueuePeakFirstHalf, res.QueuePeakSecondHalf)
+	}
+	live := res.Metrics.Gauges[obs.NameStreamLiveState].Value
+	if live > arrivals/4 {
+		t.Fatalf("final live state %d is not bounded (of %d arrivals)", live, arrivals)
+	}
+}
+
+// TestReadmeListsAllEngines keeps the README's engine table honest: every
+// registry ID (including the distributed protocol) must appear in it, so
+// the table cannot silently lag a new Desc.
+func TestReadmeListsAllEngines(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(b)
+	for _, d := range Engines() {
+		if !strings.Contains(readme, fmt.Sprintf("`%s`", d.ID)) {
+			t.Errorf("README.md does not mention engine `%s`; regenerate the engine table from the registry", d.ID)
+		}
+	}
+}

@@ -38,53 +38,56 @@ func diffTopologies(t *testing.T) map[string]*Graph {
 }
 
 func TestIncrementalMatchesRebuildOracle(t *testing.T) {
-	cases := []struct {
+	type diffCase struct {
 		name string
 		mk   func(rebuild bool) Scheduler
 		opts RunOptions
-	}{
-		{"greedy", func(r bool) Scheduler {
-			return NewGreedy(GreedyOptions{RebuildOracle: r})
-		}, RunOptions{}},
-		{"greedy-pad2", func(r bool) Scheduler {
+	}
+	// Base cases come from the registry: every engine that declares
+	// Caps.Oracle is constructed through its Desc with the shared
+	// engine-selection knob, so a new oracle-backed engine joins the
+	// differential with no edit here.
+	var cases []diffCase
+	for _, d := range Engines() {
+		if !d.Caps.Oracle {
+			continue
+		}
+		d := d
+		cases = append(cases, diffCase{d.ID, func(r bool) Scheduler {
+			return d.New(EngineOptions{RebuildOracle: r})
+		}, RunOptions{}})
+	}
+	if len(cases) < 6 {
+		t.Fatalf("registry lists only %d oracle-capable engines, want the six central variants", len(cases))
+	}
+	// Feature-knob extras the registry defaults cannot spell: padding,
+	// elastic half-speed execution, slow buckets, the randomized batch
+	// scheduler, and the deprecated per-package RebuildOracle forwards.
+	cases = append(cases,
+		diffCase{"greedy-pad2", func(r bool) Scheduler {
 			return NewGreedy(GreedyOptions{Pad: 2, RebuildOracle: r})
-		}, RunOptions{}},
-		{"greedy-uniform", func(r bool) Scheduler {
-			return NewGreedy(GreedyOptions{Uniform: true, RebuildOracle: r})
 		}, RunOptions{}},
 		// Elastic execution at half object speed makes commits run past
 		// their decided times, exercising the index's straggler re-arm.
-		{"greedy-elastic-slow", func(r bool) Scheduler {
+		diffCase{"greedy-elastic-slow", func(r bool) Scheduler {
 			return NewGreedy(GreedyOptions{RebuildOracle: r})
 		}, RunOptions{Sim: SimOptions{ElasticExec: true, SlowFactor: 2}}},
-		{"coordinator", func(r bool) Scheduler {
-			return NewCoordinator(0, GreedyOptions{RebuildOracle: r})
-		}, RunOptions{}},
-		{"bucket-tour", func(r bool) Scheduler {
-			return NewBucket(BucketOptions{Batch: TourBatch(), RebuildOracle: r})
-		}, RunOptions{}},
-		{"bucket-coloring", func(r bool) Scheduler {
-			return NewBucket(BucketOptions{Batch: ColoringBatch(), RebuildOracle: r})
-		}, RunOptions{}},
-		{"bucket-list", func(r bool) Scheduler {
-			return NewBucket(BucketOptions{Batch: ListBatch(), RebuildOracle: r})
-		}, RunOptions{}},
-		{"bucket-random-suffix", func(r bool) Scheduler {
+		diffCase{"bucket-random-suffix", func(r bool) Scheduler {
 			return NewBucket(BucketOptions{Batch: WithSuffixProperty(RandomizedBatch(42, 3)), RebuildOracle: r})
 		}, RunOptions{}},
-		{"bucket-tour-slow", func(r bool) Scheduler {
+		diffCase{"bucket-tour-slow", func(r bool) Scheduler {
 			return NewBucket(BucketOptions{Batch: TourBatch(), Slow: 2, RebuildOracle: r})
 		}, RunOptions{Sim: SimOptions{ElasticExec: true, SlowFactor: 2}}},
-		// The next two spell the oracle through the shared engine-level knob
-		// (EngineOptions.RebuildOracle) instead of the deprecated per-driver
-		// field, pinning the forward to the same byte-identical contract.
-		{"greedy-engineopts", func(r bool) Scheduler {
-			return NewGreedy(GreedyOptions{EngineOptions: EngineOptions{RebuildOracle: r}})
+		// The deprecated per-package RebuildOracle fields must keep
+		// selecting the oracle alongside the registry's EngineOptions
+		// spelling (the diffCase entries above pin the shared knob).
+		diffCase{"greedy-deprecated-field", func(r bool) Scheduler {
+			return NewGreedy(GreedyOptions{RebuildOracle: r})
 		}, RunOptions{}},
-		{"bucket-tour-engineopts", func(r bool) Scheduler {
-			return NewBucket(BucketOptions{Batch: TourBatch(), EngineOptions: EngineOptions{RebuildOracle: r}})
+		diffCase{"bucket-tour-deprecated-field", func(r bool) Scheduler {
+			return NewBucket(BucketOptions{Batch: TourBatch(), RebuildOracle: r})
 		}, RunOptions{}},
-	}
+	)
 	for topoName, g := range diffTopologies(t) {
 		for _, c := range cases {
 			for seed := int64(1); seed <= 3; seed++ {

@@ -90,28 +90,40 @@ func comparePinned(t *testing.T, seq, par pinnedRun, parallel int) {
 }
 
 func TestParallelMatchesSequential(t *testing.T) {
-	cases := []struct {
+	type parCase struct {
 		name string
 		mk   func() Scheduler
 		opts RunOptions
-	}{
-		{"greedy", func() Scheduler { return NewGreedy(GreedyOptions{}) }, RunOptions{}},
-		{"greedy-uniform", func() Scheduler { return NewGreedy(GreedyOptions{Uniform: true}) }, RunOptions{}},
-		{"greedy-pad2", func() Scheduler { return NewGreedy(GreedyOptions{Pad: 2}) }, RunOptions{}},
-		// Elastic execution at half speed exercises the due-set retries;
-		// bounded links exercise the apply-phase capacity check and the
-		// deterministic edge queues.
-		{"greedy-elastic-slow", func() Scheduler { return NewGreedy(GreedyOptions{}) },
-			RunOptions{Sim: SimOptions{ElasticExec: true, SlowFactor: 2}}},
-		{"greedy-linkcap", func() Scheduler { return NewGreedy(GreedyOptions{Pad: 2}) },
-			RunOptions{Sim: SimOptions{ElasticExec: true, LinkCapacity: 1}}},
-		{"coordinator", func() Scheduler { return NewCoordinator(0, GreedyOptions{}) }, RunOptions{}},
-		{"bucket-tour", func() Scheduler { return NewBucket(BucketOptions{Batch: TourBatch()}) }, RunOptions{}},
-		{"bucket-coloring", func() Scheduler { return NewBucket(BucketOptions{Batch: ColoringBatch()}) }, RunOptions{}},
-		{"bucket-list", func() Scheduler { return NewBucket(BucketOptions{Batch: ListBatch()}) }, RunOptions{}},
-		{"bucket-tour-slow", func() Scheduler { return NewBucket(BucketOptions{Batch: TourBatch(), Slow: 2}) },
-			RunOptions{Sim: SimOptions{ElasticExec: true, SlowFactor: 2}}},
 	}
+	// Base cases come from the registry: every centrally-driven engine
+	// (window included) is constructed through its Desc, so a new engine
+	// joins the parallel identity check with no edit here.
+	var cases []parCase
+	for _, d := range Engines() {
+		if d.Caps.Distributed {
+			continue
+		}
+		d := d
+		cases = append(cases, parCase{d.ID, func() Scheduler {
+			return d.New(EngineOptions{})
+		}, RunOptions{}})
+	}
+	if len(cases) < 7 {
+		t.Fatalf("registry lists only %d central engines, want the seven variants", len(cases))
+	}
+	// Feature-knob extras the registry defaults cannot spell. Elastic
+	// execution at half speed exercises the due-set retries; bounded links
+	// exercise the apply-phase capacity check and the deterministic edge
+	// queues.
+	cases = append(cases,
+		parCase{"greedy-pad2", func() Scheduler { return NewGreedy(GreedyOptions{Pad: 2}) }, RunOptions{}},
+		parCase{"greedy-elastic-slow", func() Scheduler { return NewGreedy(GreedyOptions{}) },
+			RunOptions{Sim: SimOptions{ElasticExec: true, SlowFactor: 2}}},
+		parCase{"greedy-linkcap", func() Scheduler { return NewGreedy(GreedyOptions{Pad: 2}) },
+			RunOptions{Sim: SimOptions{ElasticExec: true, LinkCapacity: 1}}},
+		parCase{"bucket-tour-slow", func() Scheduler { return NewBucket(BucketOptions{Batch: TourBatch(), Slow: 2}) },
+			RunOptions{Sim: SimOptions{ElasticExec: true, SlowFactor: 2}}},
+	)
 	for topoName, g := range diffTopologies(t) {
 		for _, c := range cases {
 			for seed := int64(1); seed <= 3; seed++ {
@@ -203,9 +215,19 @@ func TestParallelStreamMatchesSequential(t *testing.T) {
 		"poisson": func() (Source, error) { return NewPoissonSource(g, cfg) },
 		"bursty":  func() (Source, error) { return NewBurstySource(g, cfg) },
 	}
-	scheds := map[string]func() Scheduler{
-		"greedy":      func() Scheduler { return NewGreedy(GreedyOptions{}) },
-		"bucket-tour": func() Scheduler { return NewBucket(BucketOptions{Batch: TourBatch()}) },
+	// Every engine that declares Caps.Stream runs under the streaming
+	// driver here, so a new stream-capable engine joins the parallel
+	// identity check with no edit.
+	scheds := map[string]func() Scheduler{}
+	for _, d := range Engines() {
+		if !d.Caps.Stream {
+			continue
+		}
+		d := d
+		scheds[d.ID] = func() Scheduler { return d.New(EngineOptions{}) }
+	}
+	if len(scheds) < 7 {
+		t.Fatalf("registry lists only %d stream-capable engines, want the seven central variants", len(scheds))
 	}
 	type streamPin struct {
 		result, metrics, events, decisions []byte

@@ -4,6 +4,7 @@ package analysis
 var Suite = []*Analyzer{
 	Detclock,
 	Detrange,
+	Enginereg,
 	Obsnames,
 	Poolreturn,
 }

@@ -6,6 +6,7 @@ import (
 	"dtm/internal/batch"
 	"dtm/internal/core"
 	"dtm/internal/distbucket"
+	"dtm/internal/engine"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
 	"dtm/internal/obs"
@@ -133,7 +134,7 @@ func table5Coordinator(cfg Config) (*stats.Table, error) {
 				})},
 				{Name: "coord", Run: runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
 					in, err := mkIn(seed)
-					return in, greedy.NewCoordinator(0, greedy.Options{}), err
+					return in, engine.NewCoordinator(0, greedy.Options{}), err
 				})},
 			},
 			Row: func(cs []runner.Agg) ([]string, error) {

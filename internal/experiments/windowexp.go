@@ -1,0 +1,185 @@
+package experiments
+
+// T15 — the fourth engine head-to-head. Algorithm W (the randomized
+// window-based greedy of Sharma/Estrade/Busch, arXiv:1002.4182) carries
+// an O(s·log n) expected-makespan bound in s-bounded contention, a bound
+// incomparable on paper to Algorithm 1's O(k·D_f) and Algorithm 2's
+// O(b_A·log^3(nD)). This table makes the comparison empirical: the same
+// canonical workloads on the line, cluster, and star, one row per
+// algorithm, competitive ratios against the shared lower-bound estimate.
+// The distributed protocol (Algorithm 3) runs under its own
+// message-passing driver with half-speed objects, so its ratio carries
+// the decentralization overhead that Table 4 isolates.
+//
+// The final rows ask T14's open-system question of the new engine: the
+// bisected stability frontier λ* for window on T14's graphs, directly
+// comparable to the greedy/bucket frontiers in Table 14. Ratio columns
+// and the λ* column never apply to the same row; inapplicable cells
+// hold "-".
+
+import (
+	"fmt"
+
+	"dtm/internal/batch"
+	"dtm/internal/core"
+	"dtm/internal/distbucket"
+	"dtm/internal/graph"
+	"dtm/internal/obs"
+	"dtm/internal/runner"
+	"dtm/internal/sched"
+	"dtm/internal/stats"
+	"dtm/internal/workload"
+)
+
+func table15Window(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("Table 15 — window-based greedy (Algorithm W) vs Algorithms 1–3",
+		"graph", "scheduler", "max ratio", "±", "mean ratio", "makespan", "λ*")
+
+	// Head-to-head graphs match Table 4's sizes so the Algorithm 3 rows
+	// stay affordable under the message-passing driver.
+	ratioGraphs := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(32) },
+		func() (*graph.Graph, error) { return graph.Cluster(graph.ClusterSpec{Alpha: 4, Beta: 4, Gamma: 4}) },
+		func() (*graph.Graph, error) { return graph.Star(graph.StarSpec{Rays: 4, RayLen: 6}) },
+	}
+	if cfg.Quick {
+		ratioGraphs = []func() (*graph.Graph, error){
+			func() (*graph.Graph, error) { return graph.Line(12) },
+			func() (*graph.Graph, error) { return graph.Cluster(graph.ClusterSpec{Alpha: 2, Beta: 3, Gamma: 3}) },
+			func() (*graph.Graph, error) { return graph.Star(graph.StarSpec{Rays: 3, RayLen: 3}) },
+		}
+	}
+	type contender struct {
+		name string
+		mk   func() sched.Scheduler // nil: Algorithm 3 under its own driver
+	}
+	contenders := []contender{
+		{"greedy (Alg 1)", newGreedy},
+		{"bucket-tour (Alg 2)", newBucketTour},
+		{"distributed (Alg 3)", nil},
+		{"window (Alg W)", newWindow},
+	}
+	var points []runner.Point
+	for _, mg := range ratioGraphs {
+		g, err := mg()
+		if err != nil {
+			return nil, err
+		}
+		mkIn := func(seed int64) (*core.Instance, error) {
+			return genUniform(g, 2, g.N()/2, 3, core.Time(g.Diameter())*2, seed)
+		}
+		for _, c := range contenders {
+			c := c
+			var run runner.CellFunc
+			if c.mk == nil {
+				run = func(seed int64, m *obs.Metrics) (runner.Outcome, error) {
+					in, err := mkIn(seed)
+					if err != nil {
+						return runner.Outcome{}, err
+					}
+					res, err := distbucket.Run(in, distbucket.Options{
+						Options: sched.Options{Obs: m},
+						Batch:   batch.Tour{}, Seed: seed, Parallel: true,
+					})
+					if err != nil {
+						return runner.Outcome{}, err
+					}
+					return runner.FromRunResult(res.RunResult), nil
+				}
+			} else {
+				run = runner.Sched(func(seed int64) (*core.Instance, sched.Scheduler, error) {
+					in, err := mkIn(seed)
+					return in, c.mk(), err
+				})
+			}
+			points = append(points, runner.Point{
+				Cells: []runner.Cell{{Name: fmt.Sprintf("%s/%s", g.Name(), c.name), Run: run}},
+				Row: func(cs []runner.Agg) ([]string, error) {
+					if err := runner.FirstErr(cs); err != nil {
+						return nil, err
+					}
+					a := cs[0]
+					return []string{g.Name(), c.name, a.F2(a.MaxRatio.Mean), a.Spread(a.MaxRatio),
+						a.F2(a.MeanRatio.Mean), a.F1(a.Makespan.Mean), "-"}, nil
+				},
+			})
+		}
+	}
+
+	// Stability-frontier rows: T14's bisection, graphs, and criterion,
+	// applied to the window engine.
+	arrivals := int64(5000)
+	iters := 8
+	if cfg.Quick {
+		arrivals = 600
+		iters = 6
+	}
+	frontierGraphs := []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return graph.Line(64) },
+		func() (*graph.Graph, error) { return graph.Cluster(graph.ClusterSpec{Alpha: 3, Beta: 8, Gamma: 8}) },
+	}
+	if cfg.Quick {
+		frontierGraphs = []func() (*graph.Graph, error){
+			func() (*graph.Graph, error) { return graph.Line(16) },
+			func() (*graph.Graph, error) { return graph.Cluster(graph.ClusterSpec{Alpha: 2, Beta: 4, Gamma: 4}) },
+		}
+	}
+	for _, mg := range frontierGraphs {
+		g, err := mg()
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, runner.Point{
+			Cells: []runner.Cell{{
+				Name: fmt.Sprintf("%s/window-frontier", g.Name()),
+				Run: func(seed int64, m *obs.Metrics) (runner.Outcome, error) {
+					probe := func(rate float64) (*sched.StreamResult, error) {
+						src, err := workload.NewPoissonSource(g, workload.StreamConfig{
+							K: 2, NumObjects: g.N(), Rate: rate, Seed: seed,
+						})
+						if err != nil {
+							return nil, err
+						}
+						return sched.RunStream(g, workload.UniformObjects(g, g.N(), seed),
+							src, newWindow(), sched.StreamOptions{Obs: m, MaxArrivals: arrivals})
+					}
+					lo, hi := 1.0/64, 16.0
+					best, err := probe(lo)
+					if err != nil {
+						return runner.Outcome{}, err
+					}
+					if !streamStable(best) {
+						return runner.Outcome{}, fmt.Errorf("t15: window unstable even at λ=%g", lo)
+					}
+					rate := lo
+					for i := 0; i < iters; i++ {
+						mid := (lo + hi) / 2
+						res, err := probe(mid)
+						if err != nil {
+							return runner.Outcome{}, err
+						}
+						if streamStable(res) {
+							lo, rate, best = mid, mid, res
+						} else {
+							hi = mid
+						}
+					}
+					return runner.Outcome{
+						MaxLat:  float64(best.MaxSojourn),
+						MeanLat: best.MeanSojourn,
+						Extra:   map[string]float64{"lambda": rate},
+					}, nil
+				},
+			}},
+			Row: func(cs []runner.Agg) ([]string, error) {
+				if err := runner.FirstErr(cs); err != nil {
+					return nil, err
+				}
+				c := cs[0]
+				return []string{g.Name(), "window (stream)", "-", "-", "-", "-",
+					c.F("%.3f", c.X("lambda").Mean)}, nil
+			},
+		})
+	}
+	return runSweep(cfg, cfg.trials(), t, points)
+}

@@ -47,6 +47,12 @@ const (
 	NameGreedyWithinBound    = "greedy.within_bound"
 	NameGreedyColor          = "greedy.color"
 
+	// window scheduler instruments (randomized window-based greedy).
+	NameWindowPlaced  = "window.placed"  // counter: acceptances inside the window
+	NameWindowRetries = "window.retries" // counter: window doublings (lost rounds)
+	NameWindowColor   = "window.color"   // histogram: accepted color = delay
+	NameWindowWin     = "window.win"     // histogram: window size at acceptance
+
 	// bucket scheduler instruments.
 	NameBucketInsertions  = "bucket.insertions"
 	NameBucketOverflows   = "bucket.overflows"
@@ -128,6 +134,10 @@ var registeredNames = []string{
 	NameGreedyColorsAssigned,
 	NameGreedyWithinBound,
 	NameGreedyColor,
+	NameWindowPlaced,
+	NameWindowRetries,
+	NameWindowColor,
+	NameWindowWin,
 	NameBucketInsertions,
 	NameBucketOverflows,
 	NameBucketActivations,

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"dtm/internal/core"
+	"dtm/internal/engine"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
 	"dtm/internal/obs"
@@ -299,7 +300,7 @@ func TestSchedAdapter(t *testing.T) {
 				{ID: 1, Node: 1, Objects: []core.ObjID{0}, Arrival: 0},
 			},
 		}
-		return in, greedy.New(greedy.Options{}), nil
+		return in, engine.NewGreedy(greedy.Options{}), nil
 	})
 	m := obs.New()
 	out, err := cell(42, m)

@@ -15,6 +15,7 @@ import (
 
 	"dtm/internal/bucket"
 	"dtm/internal/core"
+	"dtm/internal/engine"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
 	"dtm/internal/obs"
@@ -104,17 +105,17 @@ func pinClosedLoop(t *testing.T, run func(*graph.Graph, sched.ClosedLoopConfig, 
 
 func TestClosedLoopMatchesRef(t *testing.T) {
 	scheds := map[string]func() sched.Scheduler{
-		"greedy": func() sched.Scheduler { return greedy.New(greedy.Options{}) },
+		"greedy": func() sched.Scheduler { return engine.NewGreedy(greedy.Options{}) },
 		"greedy-rebuild": func() sched.Scheduler {
-			return greedy.New(greedy.Options{EngineOptions: sched.EngineOptions{RebuildOracle: true}})
+			return engine.NewGreedy(greedy.Options{EngineOptions: sched.EngineOptions{RebuildOracle: true}})
 		},
-		"bucket-tour": func() sched.Scheduler { return bucket.New(bucket.Options{Batch: batchpkg.Tour{}}) },
+		"bucket-tour": func() sched.Scheduler { return engine.NewBucket(bucket.Options{Batch: batchpkg.Tour{}}) },
 		"bucket-tour-rebuild": func() sched.Scheduler {
-			return bucket.New(bucket.Options{Batch: batchpkg.Tour{},
+			return engine.NewBucket(bucket.Options{Batch: batchpkg.Tour{},
 				EngineOptions: sched.EngineOptions{RebuildOracle: true}})
 		},
-		"bucket-coloring": func() sched.Scheduler { return bucket.New(bucket.Options{Batch: batchpkg.Coloring{}}) },
-		"coordinator":     func() sched.Scheduler { return greedy.NewCoordinator(0, greedy.Options{}) },
+		"bucket-coloring": func() sched.Scheduler { return engine.NewBucket(bucket.Options{Batch: batchpkg.Coloring{}}) },
+		"coordinator":     func() sched.Scheduler { return engine.NewCoordinator(0, greedy.Options{}) },
 	}
 	for topoName, g := range diffTopologies(t) {
 		for schedName, mk := range scheds {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dtm/internal/core"
+	"dtm/internal/engine"
 	"dtm/internal/graph"
 	"dtm/internal/greedy"
 	"dtm/internal/sched"
@@ -24,7 +25,7 @@ func captureRun(t *testing.T) (*core.Instance, *Run) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rr, err := sched.Run(in, greedy.New(greedy.Options{}), sched.Options{})
+	rr, err := sched.Run(in, engine.NewGreedy(greedy.Options{}), sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,8 +45,8 @@ func emittedNames(into map[string]bool, snap *MetricsSnapshot) {
 	}
 }
 
-// exerciseAllEngines runs the central greedy, central bucket, and
-// distributed schedulers on small instances, plus an open-system
+// exerciseAllEngines runs the central greedy, central bucket, central
+// window, and distributed schedulers on small instances, plus an open-system
 // streaming run (which carries the stream.* queue/window/live-state
 // instruments), all with metrics enabled, and returns the union of
 // emitted metric names.
@@ -58,6 +58,7 @@ func exerciseAllEngines(t *testing.T) map[string]bool {
 	for _, s := range []Scheduler{
 		NewGreedy(GreedyOptions{}),
 		NewBucket(BucketOptions{Batch: TourBatch()}),
+		NewWindow(WindowOptions{}),
 	} {
 		m := NewMetrics()
 		rr, err := Run(in, s, RunOptions{Obs: m})
