@@ -18,9 +18,15 @@ check: vet fmt lint race test
 vet:
 	$(GO) vet ./...
 
-# lint runs the dtmlint multichecker: the determinism, metric-name, and
-# pool-hygiene analyzers in internal/analysis. Zero findings is the gate;
-# justified exceptions use //lint:ignore <analyzer> <reason>.
+# lint runs the dtmlint multichecker: the determinism, metric-name,
+# pool-hygiene, and phase-purity analyzers in internal/analysis
+# (parpurity proves every par.Runner.Map compute closure writes only
+# worker-owned memory — see DESIGN.md §15). Zero findings is the gate;
+# justified exceptions use //lint:ignore <analyzer> <reason>, or
+# //par:owned <expr> <reason> at a blessed write. A directive that
+# suppresses nothing is itself a finding, so exceptions cannot rot.
+# CI asserts the whole run fits a 60s wall-clock budget and that the
+# gate still fires on injected violations (scripts/lint_mutate.sh).
 lint: build
 	$(GO) run ./cmd/dtmlint ./...
 

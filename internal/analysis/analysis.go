@@ -59,8 +59,47 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Mod is the module the package belongs to. Interprocedural analyzers
+	// (parpurity) reach through it for the other packages and for shared,
+	// module-wide computed state; it is never nil when running through
+	// RunAnalyzer / RunAnalyzerRaw.
+	Mod *Module
 
 	diags []Diagnostic
+}
+
+// Module is the package set one dtmlint invocation covers, plus a cache
+// for module-wide state (call graphs, effect summaries) that analyzers
+// build once per process rather than once per package.
+type Module struct {
+	Pkgs []*Package
+
+	state map[string]stateEntry
+}
+
+type stateEntry struct {
+	v   any
+	err error
+}
+
+// NewModule wraps an already-loaded package set.
+func NewModule(pkgs []*Package) *Module {
+	return &Module{Pkgs: pkgs, state: make(map[string]stateEntry)}
+}
+
+// State returns the module-wide value cached under key, invoking build on
+// first use. A build error is cached too, so a broken module-wide
+// computation reports once instead of once per package.
+func (m *Module) State(key string, build func() (any, error)) (any, error) {
+	if m.state == nil {
+		m.state = make(map[string]stateEntry)
+	}
+	if e, ok := m.state[key]; ok {
+		return e.v, e.err
+	}
+	v, err := build()
+	m.state[key] = stateEntry{v: v, err: err}
+	return v, err
 }
 
 // Diagnostic is one finding, positioned at Pos.
@@ -162,16 +201,117 @@ func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagno
 }
 
 // RunAnalyzer runs a on pkg and returns its unsuppressed findings.
-func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+func RunAnalyzer(a *Analyzer, pkg *Package, mod *Module) ([]Diagnostic, error) {
+	diags, err := RunAnalyzerRaw(a, pkg, mod)
+	if err != nil {
+		return nil, err
+	}
+	return Filter(pkg.Fset, pkg.Files, diags), nil
+}
+
+// RunAnalyzerRaw runs a on pkg and returns the raw findings, leaving
+// suppression to the caller (drivers use Apply so suppressed findings
+// stay visible to machine-readable output and stale directives are
+// caught; Filter remains the one-shot path).
+func RunAnalyzerRaw(a *Analyzer, pkg *Package, mod *Module) ([]Diagnostic, error) {
+	if mod == nil {
+		mod = NewModule([]*Package{pkg})
+	}
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Mod:      mod,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 	}
-	return Filter(pkg.Fset, pkg.Files, pass.Diagnostics()), nil
+	return pass.Diagnostics(), nil
+}
+
+// Result is one finding plus its suppression state, as resolved by Apply.
+type Result struct {
+	Diag       Diagnostic
+	Suppressed bool
+}
+
+// Apply resolves //lint:ignore suppression over one package's combined
+// findings. Unlike Filter it keeps suppressed findings (marked) so
+// drivers can surface them in machine-readable output, reports each
+// malformed directive exactly once rather than once per analyzer, and
+// reports stale directives: a directive whose named analyzers all ran on
+// the package (the ran list) yet which suppressed nothing no longer
+// earns its keep and is itself a finding, so justified exceptions cannot
+// rot silently after the code they excuse moves or heals.
+func Apply(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran []string) []Result {
+	type key struct {
+		file string
+		line int
+	}
+	ranSet := make(map[string]bool, len(ran))
+	for _, name := range ran {
+		ranSet[name] = true
+	}
+	type liveDirective struct {
+		d    ignoreDirective
+		file string
+		used bool
+	}
+	covered := make(map[key][]*liveDirective)
+	var directives []*liveDirective
+	var out []Result
+	for _, f := range files {
+		for _, d := range parseDirectives(fset, f) {
+			if d.malformed != "" {
+				out = append(out, Result{Diag: Diagnostic{Pos: d.pos, Analyzer: "dtmlint", Message: d.malformed}})
+				continue
+			}
+			ld := &liveDirective{d: d, file: fset.Position(d.pos).Filename}
+			directives = append(directives, ld)
+			for _, line := range []int{d.line, d.line + 1} {
+				k := key{file: ld.file, line: line}
+				covered[k] = append(covered[k], ld)
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, ld := range covered[key{pos.Filename, pos.Line}] {
+			if ld.d.analyzers[d.Analyzer] {
+				ld.used = true
+				suppressed = true
+			}
+		}
+		out = append(out, Result{Diag: d, Suppressed: suppressed})
+	}
+	for _, ld := range directives {
+		if ld.used {
+			continue
+		}
+		// Staleness is only decidable when every named analyzer actually
+		// ran on this package; a directive for an analyzer the driver
+		// skipped (AppliesTo) might suppress a real finding elsewhere.
+		decidable := true
+		names := make([]string, 0, len(ld.d.analyzers))
+		for name := range ld.d.analyzers {
+			names = append(names, name)
+			if !ranSet[name] {
+				decidable = false
+			}
+		}
+		if !decidable {
+			continue
+		}
+		sort.Strings(names)
+		out = append(out, Result{Diag: Diagnostic{
+			Pos:      ld.d.pos,
+			Analyzer: "dtmlint",
+			Message:  fmt.Sprintf("stale //lint:ignore %s directive: it suppresses no finding", strings.Join(names, ",")),
+		}})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Diag.Pos < out[j].Diag.Pos })
+	return out
 }

@@ -50,7 +50,10 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	diags, err := analysis.RunAnalyzer(a, pkg)
+	// The module spans the fixture plus whatever module packages it pulled
+	// in, so interprocedural analyzers see a closed world.
+	mod := analysis.NewModule(append(loader.Packages(), pkg))
+	diags, err := analysis.RunAnalyzer(a, pkg, mod)
 	if err != nil {
 		t.Fatal(err)
 	}

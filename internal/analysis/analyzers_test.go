@@ -27,11 +27,15 @@ func TestPoolreturn(t *testing.T) {
 	analysistest.Run(t, analysis.Poolreturn, "testdata/src/poolreturn")
 }
 
+func TestParpurity(t *testing.T) {
+	analysistest.Run(t, analysis.Parpurity, "testdata/src/parpurity")
+}
+
 // TestSuiteShape pins the driver-facing contract: every suite analyzer is
 // named, documented, and scoped.
 func TestSuiteShape(t *testing.T) {
-	if len(analysis.Suite) != 5 {
-		t.Fatalf("Suite has %d analyzers, want 5", len(analysis.Suite))
+	if len(analysis.Suite) != 6 {
+		t.Fatalf("Suite has %d analyzers, want 6", len(analysis.Suite))
 	}
 	seen := map[string]bool{}
 	for _, a := range analysis.Suite {

@@ -50,6 +50,13 @@ var allowedRandFuncs = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true,
 }
 
+// forbiddenTimeMethods are wall-clock methods: re-arming a Ticker or
+// Timer schedules a wall-clock firing just like constructing one.
+// (Stop stays legal — it only cancels.)
+var forbiddenTimeMethods = map[string]bool{
+	"Ticker.Reset": true, "Timer.Reset": true,
+}
+
 func runDetclock(pass *Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -62,8 +69,18 @@ func runDetclock(pass *Pass) error {
 				return true
 			}
 			sig, ok := fn.Type().(*types.Signature)
-			if !ok || sig.Recv() != nil {
-				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			if !ok {
+				return true
+			}
+			if sig.Recv() != nil {
+				// Methods on a seeded *rand.Rand are fine; re-arming
+				// time.Ticker/time.Timer is a wall-clock schedule.
+				if fn.Pkg().Path() == "time" && forbiddenTimeMethods[recvTypeName(sig)+"."+fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s.%s in engine package %s: engine code runs on simulation time (core.Time); justify with //lint:ignore detclock or move to runner/cmd",
+						recvTypeName(sig), fn.Name(), pass.Pkg.Path())
+				}
+				return true
 			}
 			switch fn.Pkg().Path() {
 			case "time":
@@ -83,4 +100,16 @@ func runDetclock(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// recvTypeName names a method's receiver type, pointer stripped.
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
 }

@@ -115,6 +115,93 @@ func f() {
 	}
 }
 
+func TestApplyKeepsSuppressedMarked(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore detclock justified
+	_ = 1
+	_ = 2
+}
+`
+	fset, f := parseTestFile(t, src)
+	diags := []Diagnostic{
+		{Pos: lineOf(fset, f, 5), Analyzer: "detclock", Message: "suppressed one"},
+		{Pos: lineOf(fset, f, 6), Analyzer: "detclock", Message: "live one"},
+	}
+	got := Apply(fset, []*ast.File{f}, diags, []string{"detclock"})
+	if len(got) != 2 {
+		t.Fatalf("Apply returned %d results, want 2 (suppressed findings stay, marked): %v", len(got), got)
+	}
+	if !got[0].Suppressed || got[0].Diag.Message != "suppressed one" {
+		t.Errorf("first result should be the suppressed finding, got %+v", got[0])
+	}
+	if got[1].Suppressed || got[1].Diag.Message != "live one" {
+		t.Errorf("second result should be the live finding, got %+v", got[1])
+	}
+}
+
+func TestApplyReportsStaleDirective(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore detclock nothing here trips detclock anymore
+	_ = 1
+}
+`
+	fset, f := parseTestFile(t, src)
+	got := Apply(fset, []*ast.File{f}, nil, []string{"detclock"})
+	if len(got) != 1 {
+		t.Fatalf("Apply returned %d results, want 1 stale-directive report: %v", len(got), got)
+	}
+	d := got[0].Diag
+	if d.Analyzer != "dtmlint" || !strings.Contains(d.Message, "stale //lint:ignore detclock") {
+		t.Errorf("unexpected stale report %+v", d)
+	}
+	if got[0].Suppressed {
+		t.Error("a stale-directive report must not itself be suppressed")
+	}
+}
+
+func TestApplyStaleUndecidableWhenAnalyzerSkipped(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore detclock,parpurity spans an analyzer the driver skipped
+	_ = 1
+}
+`
+	fset, f := parseTestFile(t, src)
+	// parpurity did not run on this package: the directive might suppress
+	// one of its findings, so staleness is undecidable and stays quiet.
+	if got := Apply(fset, []*ast.File{f}, nil, []string{"detclock"}); len(got) != 0 {
+		t.Fatalf("Apply reported %v for a directive naming a skipped analyzer", got)
+	}
+	// With both analyzers ran and nothing suppressed, it is decidably stale.
+	got := Apply(fset, []*ast.File{f}, nil, []string{"detclock", "parpurity"})
+	if len(got) != 1 || !strings.Contains(got[0].Diag.Message, "stale //lint:ignore detclock,parpurity") {
+		t.Fatalf("Apply = %v, want one stale report naming both analyzers", got)
+	}
+}
+
+func TestApplyMalformedReportedOnce(t *testing.T) {
+	src := `package p
+
+//lint:ignore
+func f() {}
+`
+	fset, f := parseTestFile(t, src)
+	// Unlike Filter (called once per analyzer), Apply sees the package's
+	// combined findings and reports each malformed directive exactly once.
+	got := Apply(fset, []*ast.File{f}, nil, []string{"detclock", "detrange", "parpurity"})
+	if len(got) != 1 {
+		t.Fatalf("Apply returned %d results, want exactly 1 malformed report: %v", len(got), got)
+	}
+	if !strings.Contains(got[0].Diag.Message, "analyzer name and a reason") {
+		t.Errorf("unexpected malformed report %+v", got[0])
+	}
+}
+
 func TestEditDistance(t *testing.T) {
 	cases := []struct {
 		a, b string

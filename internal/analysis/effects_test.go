@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// TestSCCOrder pins the Tarjan traversal: components come out callees
+// first, and mutual recursion collapses into one component, so the
+// summary fixpoint in computeSummaries sees finished callee summaries
+// for everything below the component it is iterating.
+func TestSCCOrder(t *testing.T) {
+	a := &funcNode{name: "a"}
+	b := &funcNode{name: "b"}
+	c := &funcNode{name: "c"}
+	d := &funcNode{name: "d"}
+	e := &funcNode{name: "e"}
+	link := func(from, to *funcNode) {
+		from.calls = append(from.calls, callAtom{callee: to})
+	}
+	link(a, b)
+	link(b, c)
+	link(a, d)
+	link(d, e)
+	link(e, d) // mutual recursion d <-> e
+
+	st := &purityState{nodes: []*funcNode{a, b, c, d, e}}
+	sccs := st.sccOrder()
+
+	pos := map[string]int{}
+	for i, scc := range sccs {
+		for _, n := range scc {
+			pos[n.name] = i
+		}
+	}
+	if pos["c"] >= pos["b"] || pos["b"] >= pos["a"] {
+		t.Errorf("chain a->b->c not emitted callees-first: %v", pos)
+	}
+	if pos["d"] != pos["e"] {
+		t.Errorf("mutually recursive d and e split across components: %v", pos)
+	}
+	if pos["d"] >= pos["a"] {
+		t.Errorf("component {d,e} should precede its caller a: %v", pos)
+	}
+	if got := len(sccs); got != 4 {
+		t.Errorf("got %d components, want 4 ({c} {b} {d,e} {a})", got)
+	}
+}
+
+// TestSummaryFixpoint drives computeSummaries over a synthetic call
+// graph: a shared write two levels down a chain surfaces in every
+// caller's summary, and a write inside a mutually recursive pair
+// reaches both members without the iteration diverging.
+func TestSummaryFixpoint(t *testing.T) {
+	global := types.NewVar(token.NoPos, nil, "shared", types.Typ[types.Int])
+	leafWrite := effect{
+		kind:   effWrite,
+		target: class{kind: clGlobal, obj: global},
+		wit:    witness{what: "shared"},
+	}
+
+	top := &funcNode{name: "top"}
+	mid := &funcNode{name: "mid"}
+	leaf := &funcNode{name: "leaf", atoms: []effect{leafWrite}}
+	rec1 := &funcNode{name: "rec1"}
+	rec2 := &funcNode{name: "rec2", atoms: []effect{leafWrite}}
+	link := func(from, to *funcNode) {
+		from.calls = append(from.calls, callAtom{callee: to})
+	}
+	link(top, mid)
+	link(mid, leaf)
+	link(rec1, rec2)
+	link(rec2, rec1)
+
+	st := &purityState{nodes: []*funcNode{top, mid, leaf, rec1, rec2}}
+	st.computeSummaries()
+
+	for _, n := range []*funcNode{top, mid, leaf, rec1, rec2} {
+		if len(n.sum) != 1 {
+			t.Fatalf("%s.sum has %d effects, want 1", n.name, len(n.sum))
+		}
+		e := n.sum[0]
+		if e.kind != effWrite || e.target.kind != clGlobal || e.target.obj != global {
+			t.Errorf("%s.sum[0] = %+v, want global write to shared", n.name, e)
+		}
+	}
+}
+
+// TestPropagateFreshDrops pins the other half of the summary contract:
+// effects on memory that a call site proves fresh do not escape into
+// the caller's summary.
+func TestPropagateFreshDrops(t *testing.T) {
+	st := &purityState{}
+	caller := &funcNode{name: "caller"}
+
+	recvWrite := effect{kind: effWrite, target: class{kind: clRecv}}
+	ca := &callAtom{recv: class{kind: clFresh}}
+	if _, keep := st.propagate(recvWrite, ca, caller); keep {
+		t.Error("receiver write should drop when the call site's receiver is fresh")
+	}
+	ca = &callAtom{recv: class{kind: clShared}}
+	if e, keep := st.propagate(recvWrite, ca, caller); !keep || e.target.kind != clShared {
+		t.Errorf("receiver write on shared receiver should survive as shared, got %+v keep=%v", e, keep)
+	}
+
+	// effMetric is position-free in the lattice: it always escapes.
+	metric := effect{kind: effMetric}
+	if _, keep := st.propagate(metric, &callAtom{}, caller); !keep {
+		t.Error("metric emission must propagate through every call site")
+	}
+}
+
+// TestPropagateSlotDegrade pins the slot rule across calls: a slot write
+// stays a slot only while its index is still a bare caller parameter;
+// otherwise it degrades to a plain write into the (mapped) base.
+func TestPropagateSlotDegrade(t *testing.T) {
+	st := &purityState{}
+	caller := &funcNode{name: "caller"}
+	slot := effect{kind: effSlot, target: class{kind: clParam, param: 0}, slotParam: 1}
+
+	// Index arg is the caller's parameter 3: slot survives, remapped.
+	ca := &callAtom{
+		args:   []class{{kind: clShared}, {kind: clFresh}},
+		argPar: []int{-1, 3},
+	}
+	e, keep := st.propagate(slot, ca, caller)
+	if !keep || e.kind != effSlot || e.slotParam != 3 || e.target.kind != clShared {
+		t.Errorf("slot over shared base should survive remapped to param 3, got %+v keep=%v", e, keep)
+	}
+
+	// Fresh base: the whole write is worker-local, drop it.
+	ca = &callAtom{
+		args:   []class{{kind: clFresh}, {kind: clFresh}},
+		argPar: []int{-1, 2},
+	}
+	if _, keep := st.propagate(slot, ca, caller); keep {
+		t.Error("slot write into a fresh base should drop")
+	}
+
+	// Index no longer a bare parameter: degrade to a plain shared write.
+	ca = &callAtom{
+		args:   []class{{kind: clShared}, {kind: clFresh}},
+		argPar: []int{-1, -1},
+	}
+	e, keep = st.propagate(slot, ca, caller)
+	if !keep || e.kind != effWrite || e.target.kind != clShared {
+		t.Errorf("slot with computed index should degrade to shared write, got %+v keep=%v", e, keep)
+	}
+}
+
+// TestParseOwnedMalformed exercises the directive grammar directly: a
+// //par:owned without both a target expression and a reason is recorded
+// as malformed (and can never bless anything). This cannot live in the
+// analysistest fixture because appending a // want comment to the
+// directive line would itself supply the missing fields.
+func TestParseOwnedMalformed(t *testing.T) {
+	src := `package p
+
+func f() {
+	//par:owned
+	_ = 1
+	//par:owned e.results
+	_ = 2
+	//par:owned e.results the quota is partitioned per worker
+	_ = 3
+	//par:ownedship is a different word, not a directive
+	_ = 4
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &purityState{fset: fset, owned: make(map[string]map[int][]*ownedDirective)}
+	st.parseOwned(file)
+
+	if got := len(st.ownedAll); got != 3 {
+		t.Fatalf("parsed %d directives, want 3 (the //par:ownedship line is not one)", got)
+	}
+	var malformed, wellFormed int
+	for _, d := range st.ownedAll {
+		if d.malformed != "" {
+			malformed++
+			if d.expr != "" {
+				t.Errorf("malformed directive at line %d still carries expr %q", d.line, d.expr)
+			}
+		} else {
+			wellFormed++
+			if d.expr != "e.results" {
+				t.Errorf("well-formed directive expr = %q, want e.results", d.expr)
+			}
+		}
+	}
+	if malformed != 2 || wellFormed != 1 {
+		t.Errorf("got %d malformed / %d well-formed, want 2 / 1", malformed, wellFormed)
+	}
+}
+
+// TestBlessScope pins directive placement: a directive blesses a matching
+// write on its own line or the line directly below, nothing further.
+func TestBlessScope(t *testing.T) {
+	src := `package p
+
+func f() {
+	//par:owned e.results the slots are disjoint per worker
+	_ = 1
+	_ = 2
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &purityState{fset: fset, owned: make(map[string]map[int][]*ownedDirective)}
+	st.parseOwned(file)
+	tf := fset.File(file.Pos())
+
+	posAt := func(line int) token.Pos { return tf.LineStart(line) }
+	if !st.bless(posAt(5), []string{"e.results[k]", "e.results", "e"}) {
+		t.Error("write on the line after the directive should be blessed")
+	}
+	if !st.ownedAll[0].used {
+		t.Error("consumed directive not marked used")
+	}
+	if st.bless(posAt(6), []string{"e.results"}) {
+		t.Error("directive must not reach two lines below")
+	}
+	if st.bless(posAt(5), []string{"e.other"}) {
+		t.Error("directive must not bless a non-matching expression")
+	}
+}
+
+// TestExprCandidates pins the spellings a directive may use to name a
+// written expression: the expression itself plus every structural prefix.
+func TestExprCandidates(t *testing.T) {
+	e, err := parser.ParseExpr("e.results[items[i]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exprCandidates(e)
+	want := []string{"e.results[items[i]]", "e.results", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("exprCandidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("exprCandidates = %v, want %v", got, want)
+		}
+	}
+
+	e, err = parser.ParseExpr("(*g.trees[src]).left")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = exprCandidates(e)
+	joined := map[string]bool{}
+	for _, c := range got {
+		joined[c] = true
+	}
+	for _, c := range []string{"g.trees[src]", "g.trees", "g"} {
+		if !joined[c] {
+			t.Errorf("exprCandidates(%s) missing prefix %q: got %v", "(*g.trees[src]).left", c, got)
+		}
+	}
+}

@@ -6,5 +6,6 @@ var Suite = []*Analyzer{
 	Detrange,
 	Enginereg,
 	Obsnames,
+	Parpurity,
 	Poolreturn,
 }

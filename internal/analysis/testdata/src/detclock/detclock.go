@@ -69,3 +69,18 @@ func suppressed() int64 {
 	//lint:ignore detclock fixture: observability-only wall-clock read
 	return time.Now().UnixNano()
 }
+
+// tickers exercises the timer-construction family: After, Tick,
+// NewTicker, NewTimer, and AfterFunc all schedule wall-clock firings.
+func tickers() {
+	<-time.After(time.Millisecond)         // want `wall-clock time\.After in engine package`
+	_ = time.Tick(time.Second)             // want `wall-clock time\.Tick in engine package`
+	tk := time.NewTicker(time.Second)      // want `wall-clock time\.NewTicker in engine package`
+	tm := time.NewTimer(time.Second)       // want `wall-clock time\.NewTimer in engine package`
+	time.AfterFunc(time.Second, func() {}) // want `wall-clock time\.AfterFunc in engine package`
+	// Re-arming re-enters the wall clock; Stop only cancels and is fine.
+	tk.Reset(time.Second) // want `wall-clock time\.Ticker\.Reset in engine package`
+	tm.Reset(time.Second) // want `wall-clock time\.Timer\.Reset in engine package`
+	tk.Stop()
+	tm.Stop()
+}

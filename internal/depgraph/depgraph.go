@@ -260,6 +260,7 @@ func (ix *Index) AppendNeighborsInto(sc *Scratch, s Slot, buf []Neighbor) []Neig
 			buf = append(buf, Neighbor{Tx: rec.tx.ID, Node: rec.tx.Node, Exec: rec.exec})
 		}
 	}
+	//par:owned ix.metReused commutative atomic counter: the final sum is schedule-independent, and reads happen only after the merge barrier
 	ix.metReused.Add(int64(len(buf)))
 	return buf
 }

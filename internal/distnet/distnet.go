@@ -374,6 +374,7 @@ func (e *Engine) stepOnce(at core.Time) error {
 		b := batches[i]
 		ctx := &Ctx{g: e.g, node: b.node, now: at, seqBase: e.sendSeq[b.node]}
 		for _, ev := range b.evs {
+			//par:owned e.handlers handler state is partitioned per node and batches are disjoint by node, so each handler is touched by exactly one worker per step
 			e.handlers[b.node].HandleEvent(ctx, ev)
 		}
 		ctxs[i] = ctx

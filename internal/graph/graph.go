@@ -173,6 +173,7 @@ func (g *Graph) tree(src NodeID) *spTree {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	t := g.dijkstra(src)
+	//par:owned g.trees per-source build locks serialize each slot and the atomic publication is idempotent: concurrent compute phases read either nil (and build the identical tree) or the finished tree
 	g.trees[src].Store(t)
 	return t
 }

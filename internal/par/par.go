@@ -11,6 +11,15 @@
 // worker may write to its own per-worker arena, addressed by the worker
 // index Map passes in). See DESIGN.md §12 for the full phase contract.
 //
+// That contract is not left to convention: the parpurity analyzer
+// (internal/analysis, run by `make lint`) traces every closure reachable
+// from a Map call site through the module call graph and reports any
+// write it cannot prove worker-owned — locals, param-indexed slice
+// slots, or depgraph.GetScratchN worker scratch — along with channel
+// sends, metric emission, and rand draws in a compute phase. A write
+// that is safe for a structural reason the analyzer cannot see takes a
+// //par:owned <expr> <reason> directive at the write; see DESIGN.md §15.
+//
 // The runner is deliberately tiny: no persistent goroutine pool, no
 // channels, no metrics. Workers are spawned per Map call and claim fixed
 // chunks of the index space from an atomic cursor, so a call costs a
@@ -72,8 +81,9 @@ func (r *Runner) Workers() int {
 // pin the remaining work to one worker.
 //
 // f must treat all shared state as read-only; anything it writes must be
-// confined to per-index slots or per-worker arenas. Map returns once
-// every call has finished.
+// confined to per-index slots or per-worker arenas — a contract the
+// parpurity lint analyzer verifies interprocedurally at every call site
+// (see the package comment). Map returns once every call has finished.
 func (r *Runner) Map(n int, f func(i, w int)) {
 	if n <= 0 {
 		return
